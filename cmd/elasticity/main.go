@@ -1,0 +1,79 @@
+// Command elasticity is the offline measurement/diagnostic use of the
+// elasticity detector (§1): feed it a cross-traffic rate time series (one
+// value per line, or CSV "t,rate") sampled at a fixed interval, and it
+// reports the elasticity metric η and the classification.
+//
+// Usage:
+//
+//	elasticity -fp 5 -interval 10ms < zseries.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"nimbus/internal/core"
+	"nimbus/internal/sim"
+)
+
+func main() {
+	var (
+		fp       = flag.Float64("fp", 5, "pulse frequency to test, Hz")
+		interval = flag.Duration("interval", 10*time.Millisecond, "sample interval of the input series")
+		window   = flag.Duration("window", 5*time.Second, "FFT window")
+		thresh   = flag.Float64("threshold", 2, "elasticity threshold")
+	)
+	flag.Parse()
+
+	det := core.NewDetector(core.DetectorConfig{
+		SampleInterval: sim.FromDuration(*interval),
+		FFTDuration:    sim.FromDuration(*window),
+		Threshold:      *thresh,
+	})
+
+	sc := bufio.NewScanner(os.Stdin)
+	n := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Accept "rate" or "t,rate".
+		if i := strings.LastIndexByte(line, ','); i >= 0 {
+			line = strings.TrimSpace(line[i+1:])
+		}
+		v, err := strconv.ParseFloat(line, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skipping %q: %v\n", line, err)
+			continue
+		}
+		det.AddSample(v)
+		n++
+		if det.Ready() && n%det.WindowSamples() == 0 {
+			report(det, *fp)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if !det.Ready() {
+		fmt.Fprintf(os.Stderr, "need %d samples for a full window, got %d\n", det.WindowSamples(), n)
+		os.Exit(1)
+	}
+	report(det, *fp)
+}
+
+func report(det *core.Detector, fp float64) {
+	eta := det.Elasticity(fp)
+	class := "INELASTIC"
+	if eta >= det.Threshold() {
+		class = "ELASTIC"
+	}
+	fmt.Printf("eta(fp=%.1fHz) = %.3f  threshold = %.1f  =>  %s\n", fp, eta, det.Threshold(), class)
+}

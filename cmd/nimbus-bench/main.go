@@ -1,0 +1,53 @@
+// Command nimbus-bench regenerates the paper's tables and figures. Each
+// experiment id corresponds to one table or figure (see DESIGN.md for
+// the index); "all" runs everything.
+//
+// Usage:
+//
+//	nimbus-bench -list
+//	nimbus-bench -run fig08 [-seed 1] [-full]
+//	nimbus-bench -run all -full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nimbus/internal/exp"
+)
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list experiment ids and exit")
+		run  = flag.String("run", "", "experiment id to run (or \"all\")")
+		seed = flag.Int64("seed", 1, "simulation seed")
+		full = flag.Bool("full", false, "run at the paper's full horizons (slower)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range exp.IDs() {
+			fmt.Printf("%-8s %s\n", id, exp.Registry[id].Title)
+		}
+		return
+	}
+	if *run == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	ids := []string{*run}
+	if *run == "all" {
+		ids = exp.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		out, err := exp.Run(id, *seed, !*full)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("==== %s (%s) [%.1fs wall] ====\n%s\n", id, exp.Registry[id].Title, time.Since(start).Seconds(), out)
+	}
+}

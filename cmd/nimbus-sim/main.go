@@ -1,0 +1,85 @@
+// Command nimbus-sim runs a single configurable scenario on the emulated
+// bottleneck and prints a per-second trace plus a summary. It is the
+// quickest way to watch Nimbus (or any baseline) against a chosen cross
+// traffic mix.
+//
+// Example:
+//
+//	nimbus-sim -scheme nimbus -rate 96 -rtt 50ms -buf 100ms \
+//	    -cross cubic -dur 60s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nimbus/internal/exp"
+	"nimbus/internal/sim"
+)
+
+func main() {
+	var (
+		scheme  = flag.String("scheme", "nimbus", "congestion control scheme (see internal/exp.NewScheme)")
+		rate    = flag.Float64("rate", 96, "bottleneck link rate, Mbit/s")
+		rtt     = flag.Duration("rtt", 50*time.Millisecond, "base RTT")
+		buf     = flag.Duration("buf", 100*time.Millisecond, "buffer depth (time at link rate)")
+		aqm     = flag.String("aqm", "droptail", "queue discipline: droptail, pie, codel")
+		cross   = flag.String("cross", "none", "cross traffic: none, cubic, reno, poisson, cbr, trace, video4k, video1080p")
+		crossMb = flag.Float64("cross-rate", 48, "cross traffic rate for poisson/cbr/trace, Mbit/s")
+		dur     = flag.Duration("dur", 60*time.Second, "simulated duration")
+		seed    = flag.Int64("seed", 1, "random seed")
+		quiet   = flag.Bool("quiet", false, "suppress the per-second trace")
+	)
+	flag.Parse()
+
+	r := exp.NewRig(exp.NetConfig{
+		RateMbps: *rate,
+		RTT:      sim.FromDuration(*rtt),
+		Buffer:   sim.FromDuration(*buf),
+		AQM:      *aqm,
+		Seed:     *seed,
+	})
+	sch := exp.NewScheme(*scheme, r.MuBps, exp.SchemeOpts{})
+	probe := r.AddFlow(sch, sim.FromDuration(*rtt), 0)
+	if err := exp.AddCross(r, *cross, *crossMb*1e6, sim.FromDuration(*rtt)); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	end := sim.FromDuration(*dur)
+	if !*quiet {
+		fmt.Printf("%6s %10s %10s %8s %10s\n", "t(s)", "Mbit/s", "delay(ms)", "mode", "eta")
+		var report func()
+		report = func() {
+			now := r.Sch.Now()
+			if now > 0 {
+				mode, eta := "-", "-"
+				if sch.Nimbus != nil {
+					mode = sch.Nimbus.Mode().String()
+					eta = fmt.Sprintf("%.2f", sch.Nimbus.LastEta())
+				}
+				fmt.Printf("%6.0f %10.2f %10.2f %8s %10s\n",
+					now.Seconds(),
+					probe.MeanMbps(now-sim.Second, now),
+					r.Net.QueueDelayNow().Millis(),
+					mode, eta)
+			}
+			if now < end {
+				r.Sch.After(sim.Second, report)
+			}
+		}
+		r.Sch.After(0, report)
+	}
+	r.Sch.RunUntil(end)
+
+	fmt.Printf("\nsummary: scheme=%s mean=%.2f Mbit/s", *scheme, probe.MeanMbps(0, end))
+	d := probe.Delay.Summary()
+	fmt.Printf(" qdelay mean=%.1fms p50=%.1fms p95=%.1fms", d.Mean, d.P50, d.P95)
+	if sch.Nimbus != nil {
+		fmt.Printf(" modeSwitches=%d finalMode=%s role=%s",
+			sch.Nimbus.ModeSwitches, sch.Nimbus.Mode(), sch.Nimbus.Role())
+	}
+	fmt.Println()
+}

@@ -1,0 +1,43 @@
+package core
+
+import "nimbus/internal/sim"
+
+// BasicDelayConfig holds the parameters of Eq. 4. The evaluation uses
+// α = 0.8, β = 0.5, dt = 12.5 ms (§8.1).
+type BasicDelayConfig struct {
+	Alpha       float64  // fraction of spare capacity claimed per update
+	Beta        float64  // gain on the delay error term
+	TargetDelay sim.Time // dt: target queueing delay (keeps ẑ measurable)
+}
+
+// DefaultBasicDelayConfig returns the paper's parameters.
+func DefaultBasicDelayConfig() BasicDelayConfig {
+	return BasicDelayConfig{Alpha: 0.8, Beta: 0.5, TargetDelay: 12500 * sim.Microsecond}
+}
+
+// BasicDelayRate computes the BasicDelay sending rate (Eq. 4):
+//
+//	rate ← S + α(µ − S − z) + β·(µ/x)·(xmin + dt − x)
+//
+// where S is the measured send rate, z the estimated cross-traffic rate,
+// x the current RTT and xmin the minimum observed RTT. The first
+// correction claims a fraction of the estimated spare capacity; the
+// second steers the queueing delay toward dt, which keeps the bottleneck
+// queue non-empty so the cross-traffic estimator stays valid. The
+// function is memoryless given the measurements, so Nimbus needs no
+// state reset when switching into delay mode with BasicDelay.
+func BasicDelayRate(cfg BasicDelayConfig, mu, S, z float64, x, xmin sim.Time) float64 {
+	if x <= 0 {
+		return S
+	}
+	spare := mu - S - z
+	delayErr := (xmin + cfg.TargetDelay - x).Seconds()
+	rate := S + cfg.Alpha*spare + cfg.Beta*mu/x.Seconds()*delayErr
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > mu {
+		rate = mu
+	}
+	return rate
+}

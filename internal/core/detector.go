@@ -1,0 +1,153 @@
+package core
+
+import (
+	"nimbus/internal/fft"
+	"nimbus/internal/sim"
+	"nimbus/internal/stats"
+)
+
+// DetectorConfig parameterizes the elasticity detector (§3.4).
+type DetectorConfig struct {
+	// SampleInterval is the spacing of ẑ samples (the paper's CCP
+	// implementation reports measurements every 10 ms).
+	SampleInterval sim.Time
+	// FFTDuration is the window over which the FFT is computed (5 s).
+	FFTDuration sim.Time
+	// Threshold is ηthresh; cross traffic with η >= Threshold is
+	// classified elastic (2, chosen in Fig. 6).
+	Threshold float64
+}
+
+// DefaultDetectorConfig returns the paper's parameters: 10 ms samples,
+// 5 s FFT window, ηthresh = 2.
+func DefaultDetectorConfig() DetectorConfig {
+	return DetectorConfig{
+		SampleInterval: 10 * sim.Millisecond,
+		FFTDuration:    5 * sim.Second,
+		Threshold:      2,
+	}
+}
+
+// Detector decides whether cross traffic contains elastic (ACK-clocked)
+// flows by looking for periodicity at the pulse frequency in the
+// cross-traffic rate estimate ẑ (§3.3). η (Eq. 3) compares the FFT
+// magnitude at fp with the largest magnitude in (fp, 2fp); a pronounced
+// peak at fp only appears when the cross traffic reacts to the pulses.
+type Detector struct {
+	cfg  DetectorConfig
+	ring *stats.Ring
+	buf  []float64
+}
+
+// NewDetector returns a detector; zero-value fields of cfg take the
+// defaults.
+func NewDetector(cfg DetectorConfig) *Detector {
+	def := DefaultDetectorConfig()
+	if cfg.SampleInterval <= 0 {
+		cfg.SampleInterval = def.SampleInterval
+	}
+	if cfg.FFTDuration <= 0 {
+		cfg.FFTDuration = def.FFTDuration
+	}
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = def.Threshold
+	}
+	n := int(cfg.FFTDuration / cfg.SampleInterval)
+	if n < 8 {
+		n = 8
+	}
+	return &Detector{cfg: cfg, ring: stats.NewRing(n)}
+}
+
+// Config returns the detector's configuration.
+func (d *Detector) Config() DetectorConfig { return d.cfg }
+
+// AddSample appends one ẑ sample (call every SampleInterval).
+func (d *Detector) AddSample(z float64) { d.ring.Push(z) }
+
+// Ready reports whether a full FFT window of samples has accumulated.
+func (d *Detector) Ready() bool { return d.ring.Full() }
+
+// SampleHz returns the sampling frequency of the ẑ series.
+func (d *Detector) SampleHz() float64 { return 1 / d.cfg.SampleInterval.Seconds() }
+
+// Mean returns the mean of the samples currently in the window.
+func (d *Detector) Mean() float64 {
+	d.buf = d.ring.Snapshot(d.buf)
+	if len(d.buf) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range d.buf {
+		s += v
+	}
+	return s / float64(len(d.buf))
+}
+
+// Spectrum returns the current one-sided magnitude spectrum of the ẑ
+// window (mean removed). Useful for diagnostics and for reproducing
+// Fig. 5 directly.
+func (d *Detector) Spectrum() fft.Spectrum {
+	d.buf = d.ring.Snapshot(d.buf)
+	return fft.Analyze(d.buf, d.SampleHz())
+}
+
+// Elasticity computes η (Eq. 3) for pulse frequency fp: the magnitude at
+// fp divided by the peak magnitude in the open band (fp, 2fp). Because
+// the FFT length is a power of two, fp generally falls between bins; the
+// numerator takes the peak within one bin of fp and the denominator
+// starts a small guard band above fp to keep spectral leakage of the fp
+// peak itself out of the denominator. A denominator of zero yields a
+// large capped η.
+func (d *Detector) Elasticity(fp float64) float64 {
+	return d.ElasticityExcluding(fp, 0)
+}
+
+// ElasticityExcluding is Elasticity with an optional second frequency
+// excluded from the denominator band (±1.5 bins). The multi-flow watcher
+// protocol needs this: with a pulser at fpc and the band (fpc, 2fpc)
+// containing fpd, a legitimate peak at fpd must not suppress η.
+func (d *Detector) ElasticityExcluding(fp, exclude float64) float64 {
+	spec := d.Spectrum()
+	if len(spec.Mag) == 0 || spec.Resolution == 0 {
+		return 0
+	}
+	res := spec.Resolution
+	num := spec.PeakAround(fp, res)
+	den := 0.0
+	for k := range spec.Mag {
+		f := float64(k) * res
+		if f <= fp+2*res || f >= 2*fp-res {
+			continue
+		}
+		if exclude > 0 && f > exclude-1.5*res && f < exclude+1.5*res {
+			continue
+		}
+		if spec.Mag[k] > den {
+			den = spec.Mag[k]
+		}
+	}
+	const etaCap = 100
+	if den <= 0 {
+		if num > 0 {
+			return etaCap
+		}
+		return 0
+	}
+	eta := num / den
+	if eta > etaCap {
+		eta = etaCap
+	}
+	return eta
+}
+
+// Elastic applies the hard decision rule: η >= ηthresh.
+func (d *Detector) Elastic(fp float64) bool {
+	return d.Elasticity(fp) >= d.cfg.Threshold
+}
+
+// Threshold returns ηthresh.
+func (d *Detector) Threshold() float64 { return d.cfg.Threshold }
+
+// WindowSamples returns the number of samples in the FFT window.
+func (d *Detector) WindowSamples() int { return d.ring.Cap() }

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"nimbus/internal/sim"
+	"nimbus/internal/stats"
+)
+
+// MuEstimator supplies the bottleneck link rate µ that the ẑ estimator
+// needs (Eq. 1). The paper's implementation uses the maximum received
+// rate, like BBR (§4.2); the robustness experiments "supply Nimbus with
+// the correct link rate", which Oracle models.
+type MuEstimator interface {
+	// Observe feeds a receive-rate measurement (bits/s) at time now.
+	Observe(now sim.Time, rateBps float64)
+	// Mu returns the current estimate in bits/s (0 if unknown).
+	Mu() float64
+}
+
+// Oracle returns the true link rate, for experiments that control for µ
+// estimation error.
+type Oracle struct{ Rate float64 }
+
+// Observe is a no-op for the oracle.
+func (Oracle) Observe(sim.Time, float64) {}
+
+// Mu returns the configured rate.
+func (o Oracle) Mu() float64 { return o.Rate }
+
+// MaxReceiveRate estimates µ as the windowed maximum of the flow's
+// receive rate, the BBR-style estimator the paper's implementation uses.
+// The window is long (default 30 s) because µ only decays when the path
+// changes; a multiplicative safety margin compensates for the flow never
+// quite saturating the link between probes.
+type MaxReceiveRate struct {
+	filter *stats.WindowedMax
+}
+
+// NewMaxReceiveRate returns an estimator over the given window.
+func NewMaxReceiveRate(window sim.Time) *MaxReceiveRate {
+	if window <= 0 {
+		window = 30 * sim.Second
+	}
+	return &MaxReceiveRate{filter: stats.NewWindowedMax(int64(window))}
+}
+
+// Observe records a receive-rate sample.
+func (m *MaxReceiveRate) Observe(now sim.Time, rateBps float64) {
+	if rateBps > 0 {
+		m.filter.Add(int64(now), rateBps)
+	}
+}
+
+// Mu returns the windowed maximum receive rate.
+func (m *MaxReceiveRate) Mu() float64 { return m.filter.Max() }

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"math"
+
+	"nimbus/internal/sim"
+)
+
+// Pulse generates the asymmetric sinusoidal pulse of Fig. 7: during the
+// first quarter of each period the sender adds a half-sine of amplitude
+// Amplitude to its rate; during the remaining three quarters it subtracts
+// a half-sine of amplitude Amplitude/3. The two halves integrate to zero
+// over one period, so pulsing leaves the mean rate unchanged while
+// perturbing inter-packet spacing of the cross traffic at frequency Freq.
+//
+// The asymmetry matters for deployability: with peak amplitude µ/4 a
+// sender needs a base rate of only µ/12 to pulse (the magnitude of the
+// negative half), versus µ/4 for a symmetric pulse (§3.4).
+type Pulse struct {
+	Freq      float64 // pulses per second (fp), e.g. 5
+	Amplitude float64 // peak rate offset in bits/s, e.g. µ/4
+}
+
+// Offset returns the rate offset at time t. The pulse phase is absolute
+// (t mod 1/Freq), so all computations of the same pulse agree.
+func (p Pulse) Offset(t sim.Time) float64 {
+	if p.Freq <= 0 || p.Amplitude == 0 {
+		return 0
+	}
+	period := 1 / p.Freq
+	phase := math.Mod(t.Seconds(), period)
+	if phase < 0 {
+		phase += period
+	}
+	quarter := period / 4
+	if phase < quarter {
+		// Positive half-sine over [0, T/4).
+		return p.Amplitude * math.Sin(math.Pi*phase/quarter)
+	}
+	// Negative half-sine over [T/4, T), amplitude A/3.
+	rest := period - quarter
+	return -p.Amplitude / 3 * math.Sin(math.Pi*(phase-quarter)/rest)
+}
+
+// MinBaseRate returns the smallest base sending rate that keeps the
+// pulsed rate nonnegative: the magnitude of the negative half-sine.
+func (p Pulse) MinBaseRate() float64 { return p.Amplitude / 3 }
+
+// BurstBytes returns the extra bytes sent above the mean during the
+// positive quarter of one pulse: A/8·(2/π)·T... concretely the integral
+// of the positive half-sine: Amplitude * (T/4) * (2/π) / 8 bytes.
+func (p Pulse) BurstBytes() float64 {
+	if p.Freq <= 0 {
+		return 0
+	}
+	period := 1 / p.Freq
+	return p.Amplitude * (period / 4) * (2 / math.Pi) / 8
+}

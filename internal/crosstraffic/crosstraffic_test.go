@@ -1,0 +1,205 @@
+package crosstraffic
+
+import (
+	"math"
+	"testing"
+
+	"nimbus/internal/cc"
+	"nimbus/internal/netem"
+	"nimbus/internal/sim"
+	"nimbus/internal/transport"
+)
+
+func newNet(rateMbps float64) (*sim.Scheduler, *netem.Network, *netem.Link) {
+	sch := sim.NewScheduler()
+	rate := rateMbps * 1e6
+	link := netem.NewLink(sch, rate, netem.NewDropTail(netem.BufferBytesForDelay(rate, 100*sim.Millisecond)))
+	return sch, netem.NewNetwork(sch, link), link
+}
+
+func TestCBRRate(t *testing.T) {
+	sch, net, link := newNet(96)
+	cbr := NewCBR(net, 40*sim.Millisecond, 24e6)
+	cbr.Start(0)
+	sch.RunUntil(10 * sim.Second)
+	got := float64(link.DeliveredBytes) * 8 / 10 / 1e6
+	if math.Abs(got-24) > 0.5 {
+		t.Fatalf("CBR delivered %.2f Mbit/s, want ~24", got)
+	}
+}
+
+func TestPoissonMeanRate(t *testing.T) {
+	sch, net, link := newNet(96)
+	p := NewPoisson(net, 40*sim.Millisecond, 48e6, sim.NewRand(5))
+	p.Start(0)
+	sch.RunUntil(20 * sim.Second)
+	got := float64(link.DeliveredBytes) * 8 / 20 / 1e6
+	if math.Abs(got-48) > 2 {
+		t.Fatalf("Poisson delivered %.2f Mbit/s, want ~48", got)
+	}
+}
+
+func TestRawSourceStop(t *testing.T) {
+	sch, net, link := newNet(96)
+	cbr := NewCBR(net, 40*sim.Millisecond, 24e6)
+	cbr.Start(0)
+	sch.RunUntil(5 * sim.Second)
+	cbr.Stop()
+	at5 := link.DeliveredBytes
+	sch.RunUntil(10 * sim.Second)
+	// Only in-flight packets may trickle in after Stop: at 24 Mbit/s
+	// with a 20 ms forward delay that is ~40 packets.
+	if link.DeliveredBytes > at5+60*netem.DefaultMSS {
+		t.Fatalf("source kept sending after Stop: %d -> %d", at5, link.DeliveredBytes)
+	}
+}
+
+func TestRawSourceSetRate(t *testing.T) {
+	sch, net, link := newNet(96)
+	cbr := NewCBR(net, 40*sim.Millisecond, 10e6)
+	cbr.Start(0)
+	sch.RunUntil(5 * sim.Second)
+	cbr.SetRate(40e6)
+	before := link.DeliveredBytes
+	sch.RunUntil(10 * sim.Second)
+	phase2 := float64(link.DeliveredBytes-before) * 8 / 5 / 1e6
+	if math.Abs(phase2-40) > 2 {
+		t.Fatalf("after SetRate delivered %.1f Mbit/s, want ~40", phase2)
+	}
+}
+
+func TestHeavyTailedSizes(t *testing.T) {
+	rng := sim.NewRand(3)
+	var s HeavyTailedSizes
+	n := 200000
+	var sum float64
+	small := 0
+	for i := 0; i < n; i++ {
+		v := s.Sample(rng)
+		if v < 2000 || v > 300e6 {
+			t.Fatalf("size %d out of bounds", v)
+		}
+		if v <= 15000 {
+			small++
+		}
+		sum += float64(v)
+	}
+	mean := sum / float64(n)
+	want := s.MeanBytes()
+	if math.Abs(mean-want)/want > 0.15 {
+		t.Fatalf("empirical mean %.0f vs analytic %.0f", mean, want)
+	}
+	// Most flows are mice.
+	if frac := float64(small) / float64(n); frac < 0.5 || frac > 0.6 {
+		t.Fatalf("small-flow fraction = %.2f, want ~0.55", frac)
+	}
+}
+
+func TestTraceWorkloadOfferedLoad(t *testing.T) {
+	sch, net, link := newNet(96)
+	w := &TraceWorkload{
+		Net:     net,
+		Rng:     sim.NewRand(1),
+		LoadBps: 48e6,
+		RTT:     50 * sim.Millisecond,
+		NewCC:   func() transport.Controller { return cc.NewCubic() },
+	}
+	w.Start(0)
+	dur := 120 * sim.Second
+	sch.RunUntil(dur)
+	got := float64(link.DeliveredBytes) * 8 / dur.Seconds() / 1e6
+	// Offered 48 on a 96 link: delivered should be near 48 (allowing
+	// heavy-tail variance at this horizon).
+	if got < 20 || got > 90 {
+		t.Fatalf("trace workload delivered %.1f Mbit/s at 48 offered", got)
+	}
+	if len(w.Completed()) < 50 {
+		t.Fatalf("only %d flows completed", len(w.Completed()))
+	}
+	// Some flows must be classed elastic at some point; spot-check the
+	// ground-truth helpers don't panic and fractions are sane.
+	if f := w.ElasticByteFraction(); f < 0 || f > 1 {
+		t.Fatalf("elastic fraction = %v", f)
+	}
+}
+
+func TestTraceWorkloadFCTOrdering(t *testing.T) {
+	sch, net, _ := newNet(96)
+	w := &TraceWorkload{
+		Net:     net,
+		Rng:     sim.NewRand(2),
+		LoadBps: 30e6,
+		RTT:     50 * sim.Millisecond,
+		NewCC:   func() transport.Controller { return cc.NewCubic() },
+	}
+	w.Start(0)
+	sch.RunUntil(90 * sim.Second)
+	recs := w.Completed()
+	if len(recs) < 30 {
+		t.Fatalf("too few completions: %d", len(recs))
+	}
+	// Larger flows should take longer on average: compare mean FCT of
+	// mice vs elephants.
+	var miceSum, miceN, elSum, elN float64
+	for _, r := range recs {
+		if r.Size <= 15000 {
+			miceSum += r.FCT.Seconds()
+			miceN++
+		} else if r.Size > 1.5e6 {
+			elSum += r.FCT.Seconds()
+			elN++
+		}
+	}
+	if miceN == 0 || elN == 0 {
+		t.Skip("sample too small for both classes")
+	}
+	if elSum/elN <= miceSum/miceN {
+		t.Fatalf("elephant FCT %.2fs <= mouse FCT %.2fs", elSum/elN, miceSum/miceN)
+	}
+}
+
+func TestVideo1080pIsApplicationLimited(t *testing.T) {
+	// Alone on a 48 Mbit/s link a 1080p client must settle at the top
+	// ladder rung (8 Mbit/s), far below the link rate: application
+	// limited => inelastic.
+	sch, net, link := newNet(48)
+	v := &VideoClient{
+		Net: net, Rng: sim.NewRand(4), RTT: 50 * sim.Millisecond,
+		Ladder: Ladder1080p,
+		NewCC:  func() transport.Controller { return cc.NewCubic() },
+	}
+	v.Start(0)
+	dur := 60 * sim.Second
+	sch.RunUntil(dur)
+	got := float64(link.DeliveredBytes) * 8 / dur.Seconds() / 1e6
+	if got > 12 {
+		t.Fatalf("1080p delivered %.1f Mbit/s, should be app-limited ~8", got)
+	}
+	if v.ChunksFetched < 10 {
+		t.Fatalf("only %d chunks fetched", v.ChunksFetched)
+	}
+	if v.Rebuffers > 2 {
+		t.Fatalf("%d rebuffers on an idle fat link", v.Rebuffers)
+	}
+}
+
+func TestVideo4KIsNetworkLimited(t *testing.T) {
+	// A 4K client sharing a 48 Mbit/s link with a Cubic flow wants more
+	// than its fair share: it should be continuously downloading
+	// (network-limited) and consume a large fraction of the link.
+	sch, net, _ := newNet(48)
+	v := &VideoClient{
+		Net: net, Rng: sim.NewRand(4), RTT: 50 * sim.Millisecond,
+		Ladder: Ladder4K,
+		NewCC:  func() transport.Controller { return cc.NewCubic() },
+	}
+	v.Start(0)
+	cu := transport.NewSender(net, 50*sim.Millisecond, cc.NewCubic(), transport.Backlogged{}, sim.NewRand(8))
+	cu.Start(0)
+	dur := 60 * sim.Second
+	sch.RunUntil(dur)
+	videoMbps := float64(v.Sender().DeliveredBytes) * 8 / dur.Seconds() / 1e6
+	if videoMbps < 10 {
+		t.Fatalf("4K video got %.1f Mbit/s", videoMbps)
+	}
+}

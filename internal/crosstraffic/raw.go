@@ -1,0 +1,107 @@
+// Package crosstraffic generates the cross-traffic workloads of the
+// paper's evaluation: inelastic raw sources (constant bit-rate and
+// Poisson packet arrivals), elastic congestion-controlled flow groups,
+// the heavy-tailed trace-driven WAN workload standing in for the CAIDA
+// trace, and DASH-style video clients.
+package crosstraffic
+
+import (
+	"nimbus/internal/netem"
+	"nimbus/internal/sim"
+)
+
+// RawSource injects packets directly into the bottleneck without any
+// transport: nothing acknowledges them and nothing adapts. It models the
+// paper's inelastic traffic (CBR streams and Poisson arrivals at a mean
+// rate). The rate can change over time via SetRate.
+type RawSource struct {
+	att *netem.Attachment
+	sch *sim.Scheduler
+	rng *sim.Rand
+
+	rateBps float64
+	poisson bool
+	size    int
+
+	running bool
+	gen     int // invalidates scheduled arrivals after rate changes/stops
+	seq     uint64
+
+	SentPackets uint64
+}
+
+// NewCBR returns a constant bit-rate source at rateBps.
+func NewCBR(net *netem.Network, rtt sim.Time, rateBps float64) *RawSource {
+	return newRaw(net, rtt, rateBps, false, nil)
+}
+
+// NewPoisson returns a source with Poisson packet arrivals at mean
+// rateBps.
+func NewPoisson(net *netem.Network, rtt sim.Time, rateBps float64, rng *sim.Rand) *RawSource {
+	return newRaw(net, rtt, rateBps, true, rng)
+}
+
+func newRaw(net *netem.Network, rtt sim.Time, rateBps float64, poisson bool, rng *sim.Rand) *RawSource {
+	att := net.Attach(rtt)
+	return &RawSource{
+		att:     att,
+		sch:     net.Sch,
+		rng:     rng,
+		rateBps: rateBps,
+		poisson: poisson,
+		size:    netem.DefaultMSS,
+	}
+}
+
+// ID returns the flow id at the bottleneck.
+func (r *RawSource) ID() netem.FlowID { return r.att.ID }
+
+// Start begins injection at time at.
+func (r *RawSource) Start(at sim.Time) {
+	r.sch.At(at, func() {
+		if r.running {
+			return
+		}
+		r.running = true
+		r.gen++
+		r.scheduleNext(r.gen)
+	})
+}
+
+// Stop halts injection (takes effect immediately).
+func (r *RawSource) Stop() {
+	r.running = false
+	r.gen++
+}
+
+// SetRate changes the mean rate; 0 pauses the source.
+func (r *RawSource) SetRate(bps float64) {
+	r.rateBps = bps
+	if r.running {
+		r.gen++
+		r.scheduleNext(r.gen)
+	}
+}
+
+// RateBps returns the configured mean rate.
+func (r *RawSource) RateBps() float64 { return r.rateBps }
+
+func (r *RawSource) scheduleNext(gen int) {
+	if !r.running || r.rateBps <= 0 {
+		return
+	}
+	mean := sim.FromSeconds(float64(r.size*8) / r.rateBps)
+	gap := mean
+	if r.poisson {
+		gap = r.rng.ExpTime(mean)
+	}
+	r.sch.After(gap, func() {
+		if gen != r.gen || !r.running {
+			return
+		}
+		r.seq++
+		r.SentPackets++
+		r.att.Send(&netem.Packet{Seq: r.seq, Size: r.size, Raw: true})
+		r.scheduleNext(gen)
+	})
+}

@@ -1,0 +1,205 @@
+package crosstraffic
+
+import (
+	"math"
+
+	"nimbus/internal/netem"
+	"nimbus/internal/sim"
+	"nimbus/internal/transport"
+)
+
+// SizeSampler draws flow sizes in bytes.
+type SizeSampler interface {
+	Sample(rng *sim.Rand) int
+}
+
+// HeavyTailedSizes is the stand-in for the CAIDA 2016 flow-size
+// distribution (§8.1): a bucketed log-uniform mixture whose bytes are
+// dominated by a small number of very large flows, so the offered load
+// alternates between periods with large elastic flows and periods of
+// only short/inelastic flows — the structure Figs 9–12 depend on.
+//
+// Buckets (probability, size range): most flows are small (mice), most
+// bytes belong to elephants, mean ≈ 1.4 MB.
+type HeavyTailedSizes struct{}
+
+type sizeBucket struct {
+	p      float64
+	lo, hi float64 // bytes
+}
+
+var caidaBuckets = []sizeBucket{
+	{0.55, 2e3, 15e3},
+	{0.30, 15e3, 150e3},
+	{0.10, 150e3, 1.5e6},
+	{0.04, 1.5e6, 15e6},
+	{0.009, 15e6, 150e6},
+	{0.001, 150e6, 300e6},
+}
+
+// Sample draws one flow size.
+func (HeavyTailedSizes) Sample(rng *sim.Rand) int {
+	u := rng.Float64()
+	acc := 0.0
+	b := caidaBuckets[len(caidaBuckets)-1]
+	for _, c := range caidaBuckets {
+		acc += c.p
+		if u < acc {
+			b = c
+			break
+		}
+	}
+	// Log-uniform within the bucket.
+	lo, hi := b.lo, b.hi
+	v := lo * math.Pow(hi/lo, rng.Float64())
+	return int(v)
+}
+
+// MeanBytes returns the analytic mean of the distribution (for computing
+// arrival rates from offered loads). For a log-uniform on [lo,hi] the
+// mean is (hi-lo)/ln(hi/lo).
+func (HeavyTailedSizes) MeanBytes() float64 {
+	m := 0.0
+	for _, b := range caidaBuckets {
+		m += b.p * (b.hi - b.lo) / math.Log(b.hi/b.lo)
+	}
+	return m
+}
+
+// ElasticThresholdBytes is the paper's ground-truth rule (Fig. 12): flows
+// larger than the initial congestion window of 10 packets are guaranteed
+// ACK-clocked over their lifetime and counted elastic.
+const ElasticThresholdBytes = 10 * netem.DefaultMSS
+
+// FlowRecord describes one completed cross flow.
+type FlowRecord struct {
+	Size    int
+	Started sim.Time
+	FCT     sim.Time
+}
+
+// TraceWorkload generates Cubic cross flows with Poisson arrivals and
+// heavy-tailed sizes at a configured offered load (the WAN cross-traffic
+// workload of §8.1).
+type TraceWorkload struct {
+	Net     *netem.Network
+	Rng     *sim.Rand
+	LoadBps float64     // offered load in bits/s
+	RTT     sim.Time    // cross-flow base RTT
+	Sizes   SizeSampler // defaults to HeavyTailedSizes
+	// NewCC builds the congestion controller per flow (default Cubic is
+	// supplied by the caller; required).
+	NewCC func() transport.Controller
+	// MaxFlows caps concurrently active flows (0 = no cap) to bound
+	// memory in pathological overload.
+	MaxFlows int
+
+	stopped   bool
+	active    map[netem.FlowID]*activeFlow
+	completed []FlowRecord
+
+	// ElasticBytes tracks bytes currently owned by active "elastic"
+	// flows (size above threshold) for ground-truth computation.
+	elasticActive int
+}
+
+type activeFlow struct {
+	sender  *transport.Sender
+	size    int
+	started sim.Time
+	elastic bool
+}
+
+// Start begins flow arrivals at time at.
+func (w *TraceWorkload) Start(at sim.Time) {
+	if w.Sizes == nil {
+		w.Sizes = HeavyTailedSizes{}
+	}
+	if w.active == nil {
+		w.active = make(map[netem.FlowID]*activeFlow)
+	}
+	w.Net.Sch.At(at, w.arrival)
+}
+
+// Stop halts new arrivals; active flows run to completion.
+func (w *TraceWorkload) Stop() { w.stopped = true }
+
+func (w *TraceWorkload) meanGap() sim.Time {
+	mb := 1.4e6
+	if m, ok := w.Sizes.(interface{ MeanBytes() float64 }); ok {
+		mb = m.MeanBytes()
+	}
+	flowsPerSec := w.LoadBps / 8 / mb
+	return sim.FromSeconds(1 / flowsPerSec)
+}
+
+func (w *TraceWorkload) arrival() {
+	if w.stopped {
+		return
+	}
+	w.spawnFlow()
+	w.Net.Sch.After(w.Rng.ExpTime(w.meanGap()), w.arrival)
+}
+
+func (w *TraceWorkload) spawnFlow() {
+	if w.MaxFlows > 0 && len(w.active) >= w.MaxFlows {
+		return
+	}
+	size := w.Sizes.Sample(w.Rng)
+	now := w.Net.Sch.Now()
+	var sender *transport.Sender
+	af := &activeFlow{size: size, started: now, elastic: size > ElasticThresholdBytes}
+	src := transport.NewFiniteFlow(size, func(done sim.Time) {
+		w.finish(af, done)
+	})
+	sender = transport.NewSender(w.Net, w.RTT, w.NewCC(), src, w.Rng.Split("flow"))
+	af.sender = sender
+	w.active[sender.ID()] = af
+	if af.elastic {
+		w.elasticActive++
+	}
+	sender.Start(now)
+}
+
+func (w *TraceWorkload) finish(af *activeFlow, done sim.Time) {
+	af.sender.Stop()
+	w.Net.Detach(af.sender.ID())
+	delete(w.active, af.sender.ID())
+	if af.elastic {
+		w.elasticActive--
+	}
+	w.completed = append(w.completed, FlowRecord{
+		Size: af.size, Started: af.started, FCT: done - af.started,
+	})
+}
+
+// Completed returns records of all finished flows.
+func (w *TraceWorkload) Completed() []FlowRecord { return w.completed }
+
+// ActiveFlows returns the number of in-progress flows.
+func (w *TraceWorkload) ActiveFlows() int { return len(w.active) }
+
+// ElasticActive reports whether any active flow is in the elastic class
+// AND still has enough remaining bytes to be backlogged (ground truth for
+// detector accuracy).
+func (w *TraceWorkload) ElasticActive() bool { return w.elasticActive > 0 }
+
+// ElasticByteFraction returns the fraction of currently-active flow bytes
+// belonging to elastic flows (Fig. 12's ground-truth signal).
+func (w *TraceWorkload) ElasticByteFraction() float64 {
+	totalRem, elasticRem := 0.0, 0.0
+	for _, af := range w.active {
+		rem := float64(af.size) - float64(af.sender.DeliveredBytes)
+		if rem < 0 {
+			rem = 0
+		}
+		totalRem += rem
+		if af.elastic {
+			elasticRem += rem
+		}
+	}
+	if totalRem == 0 {
+		return 0
+	}
+	return elasticRem / totalRem
+}

@@ -1,0 +1,355 @@
+// Package exp contains the experiment harness: one constructor per table
+// or figure of the paper, each returning typed rows and a textual
+// rendering that mirrors what the paper reports. The DESIGN.md experiment
+// index maps every figure/table to its function here and its benchmark in
+// the repository root.
+package exp
+
+import (
+	"fmt"
+
+	"nimbus/internal/cc"
+	"nimbus/internal/core"
+	"nimbus/internal/crosstraffic"
+	"nimbus/internal/metrics"
+	"nimbus/internal/netem"
+	"nimbus/internal/sim"
+	"nimbus/internal/transport"
+)
+
+// NetConfig describes the emulated bottleneck (the Mahimahi stand-in).
+type NetConfig struct {
+	RateMbps  float64
+	RTT       sim.Time // base RTT of the primary flow
+	Buffer    sim.Time // drop-tail buffer depth in time at the link rate
+	AQM       string   // "droptail" (default), "pie", "codel"
+	PIETarget sim.Time // PIE target delay (default 20 ms)
+	Seed      int64
+}
+
+// Rig is an instantiated bottleneck network for one experiment run.
+type Rig struct {
+	Sch   *sim.Scheduler
+	Link  *netem.Link
+	Net   *netem.Network
+	Rng   *sim.Rand
+	MuBps float64
+	Cfg   NetConfig
+}
+
+// NewRig builds the network.
+func NewRig(cfg NetConfig) *Rig {
+	if cfg.Buffer == 0 {
+		cfg.Buffer = 100 * sim.Millisecond
+	}
+	sch := sim.NewScheduler()
+	rng := sim.NewRand(cfg.Seed + 1)
+	rate := cfg.RateMbps * 1e6
+	bufBytes := netem.BufferBytesForDelay(rate, cfg.Buffer)
+	var q netem.Queue
+	switch cfg.AQM {
+	case "", "droptail":
+		q = netem.NewDropTail(bufBytes)
+	case "pie":
+		target := cfg.PIETarget
+		if target == 0 {
+			target = 20 * sim.Millisecond
+		}
+		q = netem.NewPIE(bufBytes, rate, target, rng.Split("pie"))
+	case "codel":
+		q = netem.NewCoDel(bufBytes)
+	default:
+		panic("exp: unknown AQM " + cfg.AQM)
+	}
+	link := netem.NewLink(sch, rate, q)
+	return &Rig{
+		Sch:   sch,
+		Link:  link,
+		Net:   netem.NewNetwork(sch, link),
+		Rng:   rng,
+		MuBps: rate,
+		Cfg:   cfg,
+	}
+}
+
+// SchemeOpts tunes scheme construction.
+type SchemeOpts struct {
+	// PulseFraction overrides Nimbus's pulse amplitude fraction.
+	PulseFraction float64
+	// EstimateMu uses the BBR-style µ estimator instead of the oracle.
+	EstimateMu bool
+	// MultiFlow enables the pulser/watcher protocol.
+	MultiFlow bool
+	// PulseFreq overrides fpc (and fpd when not multi-flow).
+	PulseFreq float64
+	// Detector overrides the detector configuration.
+	Detector core.DetectorConfig
+	// StartCompetitive starts Nimbus in TCP-competitive mode. Against
+	// bistable cross traffic (BBR with deep buffers: ACK-clocked only
+	// when the queue exceeds its rtprop) the starting mode selects the
+	// equilibrium.
+	StartCompetitive bool
+}
+
+// Scheme is a constructed congestion controller, with the Nimbus core
+// exposed when the scheme is Nimbus-based.
+type Scheme struct {
+	Name   string
+	Ctrl   transport.Controller
+	Nimbus *core.Nimbus // nil for non-Nimbus schemes
+	Copa   *cc.Copa     // non-nil for the Copa baseline (mode telemetry)
+}
+
+// NewScheme builds a congestion controller by name. Recognized names:
+//
+//	cubic, reno, vegas, copa, copa-default, bbr, vivace, compound
+//	nimbus            — Cubic + BasicDelay (the paper's default)
+//	nimbus-copa       — Cubic + Copa default mode
+//	nimbus-vegas      — Cubic + Vegas
+//	nimbus-reno       — NewReno + BasicDelay
+//	nimbus-delay      — BasicDelay pinned (no switching; "delay-control")
+//	nimbus-competitive— Cubic pinned (ablation)
+func NewScheme(name string, muBps float64, opts SchemeOpts) Scheme {
+	mu := core.MuEstimator(core.Oracle{Rate: muBps})
+	if opts.EstimateMu {
+		mu = core.NewMaxReceiveRate(0)
+	}
+	nimbusCfg := func(delay core.WindowCC, comp core.WindowCC, pinned bool, startMode core.Mode) Scheme {
+		if comp == nil {
+			comp = cc.NewCubic()
+		}
+		if opts.StartCompetitive && !pinned {
+			startMode = core.ModeCompetitive
+		}
+		cfg := core.Config{
+			Mu:            mu,
+			Competitive:   comp,
+			Delay:         delay,
+			PulseFraction: opts.PulseFraction,
+			MultiFlow:     opts.MultiFlow,
+			Pinned:        pinned,
+			StartMode:     startMode,
+			Detector:      opts.Detector,
+		}
+		if opts.PulseFreq > 0 {
+			cfg.FreqCompetitive = opts.PulseFreq
+			if !opts.MultiFlow {
+				cfg.FreqDelay = opts.PulseFreq
+			} else {
+				cfg.FreqDelay = opts.PulseFreq + 1
+			}
+		}
+		n := core.NewNimbus(cfg)
+		return Scheme{Name: name, Ctrl: n, Nimbus: n}
+	}
+	switch name {
+	case "cubic":
+		return Scheme{Name: name, Ctrl: cc.NewCubic()}
+	case "reno":
+		return Scheme{Name: name, Ctrl: cc.NewReno()}
+	case "vegas":
+		return Scheme{Name: name, Ctrl: cc.NewVegas()}
+	case "copa":
+		c := cc.NewCopa()
+		return Scheme{Name: name, Ctrl: c, Copa: c}
+	case "copa-default":
+		c := cc.NewCopaDefaultMode()
+		return Scheme{Name: name, Ctrl: c, Copa: c}
+	case "bbr":
+		return Scheme{Name: name, Ctrl: cc.NewBBR()}
+	case "vivace":
+		return Scheme{Name: name, Ctrl: cc.NewVivace()}
+	case "compound":
+		return Scheme{Name: name, Ctrl: cc.NewCompound()}
+	case "nimbus":
+		return nimbusCfg(nil, nil, false, core.ModeDelay)
+	case "nimbus-copa":
+		return nimbusCfg(cc.NewCopaDefaultMode(), nil, false, core.ModeDelay)
+	case "nimbus-vegas":
+		return nimbusCfg(cc.NewVegas(), nil, false, core.ModeDelay)
+	case "nimbus-reno":
+		return nimbusCfg(nil, cc.NewReno(), false, core.ModeDelay)
+	case "nimbus-delay":
+		return nimbusCfg(nil, nil, true, core.ModeDelay)
+	case "nimbus-competitive":
+		return nimbusCfg(nil, nil, true, core.ModeCompetitive)
+	default:
+		panic("exp: unknown scheme " + name)
+	}
+}
+
+// SchemeNames lists the schemes most experiments compare.
+var SchemeNames = []string{"nimbus", "cubic", "bbr", "vegas", "copa", "vivace"}
+
+// FlowProbe records a flow's throughput, per-packet queueing delay, and
+// RTT samples.
+type FlowProbe struct {
+	Tput   *metrics.Meter
+	Delay  *metrics.DelayRecorder
+	RTTms  *metrics.DelayRecorder
+	Sender *transport.Sender
+}
+
+// AddFlow attaches a backlogged flow with the scheme and a probe.
+func (r *Rig) AddFlow(s Scheme, rtt sim.Time, start sim.Time) *FlowProbe {
+	return r.AddFlowSrc(s, rtt, start, transport.Backlogged{})
+}
+
+// AddFlowSrc attaches a flow with an explicit application source.
+func (r *Rig) AddFlowSrc(s Scheme, rtt sim.Time, start sim.Time, src transport.Source) *FlowProbe {
+	sender := transport.NewSender(r.Net, rtt, s.Ctrl, src, r.Rng.Split("flow-"+s.Name))
+	probe := &FlowProbe{
+		Tput:   metrics.NewMeter(sim.Second),
+		Delay:  metrics.NewDelayRecorder(0, r.Rng.Split("dlyrec")),
+		RTTms:  metrics.NewDelayRecorder(0, r.Rng.Split("rttrec")),
+		Sender: sender,
+	}
+	sender.OnDeliverHook = func(p *netem.Packet, now sim.Time) {
+		probe.Tput.Add(now, p.Size)
+		probe.Delay.Add(p.QueueDelay)
+	}
+	sender.OnAckHook = func(a transport.AckInfo) {
+		probe.RTTms.Add(a.RTT)
+	}
+	sender.Start(start)
+	return probe
+}
+
+// MeanMbps is the probe's mean throughput over [from, to).
+func (p *FlowProbe) MeanMbps(from, to sim.Time) float64 { return p.Tput.MeanMbps(from, to) }
+
+// AddCubicCross starts n long-running Cubic cross flows at time start and
+// returns their senders.
+func (r *Rig) AddCubicCross(n int, rtt sim.Time, start sim.Time) []*transport.Sender {
+	out := make([]*transport.Sender, n)
+	for i := range out {
+		s := transport.NewSender(r.Net, rtt, cc.NewCubic(), transport.Backlogged{}, r.Rng.Split(fmt.Sprintf("ccross%d", i)))
+		s.Start(start)
+		out[i] = s
+	}
+	return out
+}
+
+// StopFlows stops senders and detaches them from the network.
+func (r *Rig) StopFlows(ss []*transport.Sender, at sim.Time) {
+	r.Sch.At(at, func() {
+		for _, s := range ss {
+			s.Stop()
+			r.Net.Detach(s.ID())
+		}
+	})
+}
+
+// ModeTracker accumulates Nimbus mode/accuracy statistics from telemetry.
+type ModeTracker struct {
+	Acc          metrics.AccuracyTracker
+	EtaSer       metrics.Series
+	ModeSer      metrics.Series // 1 = competitive
+	CompTime     sim.Time
+	lastT        sim.Time
+	RecordSeries bool
+}
+
+// Track wires the tracker to a Nimbus instance with the given ground
+// truth ("is the cross traffic elastic right now").
+func (mt *ModeTracker) Track(n *core.Nimbus, truth func(now sim.Time) bool, warmup sim.Time) {
+	mt.Acc.Warmup = warmup
+	prev := n.OnTick
+	n.OnTick = func(t core.Telemetry) {
+		if prev != nil {
+			prev(t)
+		}
+		pred := t.Mode == core.ModeCompetitive
+		mt.Acc.Observe(t.Now, pred, truth(t.Now))
+		if pred && mt.lastT != 0 {
+			mt.CompTime += t.Now - mt.lastT
+		}
+		mt.lastT = t.Now
+		if mt.RecordSeries {
+			mt.EtaSer.Add(t.Now, t.Eta)
+			m := 0.0
+			if pred {
+				m = 1
+			}
+			mt.ModeSer.Add(t.Now, m)
+		}
+	}
+}
+
+// CopaModeProbe samples Copa's own mode every 10 ms against ground truth.
+func (r *Rig) CopaModeProbe(c *cc.Copa, truth func(now sim.Time) bool, warmup sim.Time) *metrics.AccuracyTracker {
+	acc := &metrics.AccuracyTracker{Warmup: warmup}
+	var tick func()
+	tick = func() {
+		acc.Observe(r.Sch.Now(), c.Competitive(), truth(r.Sch.Now()))
+		r.Sch.After(10*sim.Millisecond, tick)
+	}
+	r.Sch.After(10*sim.Millisecond, tick)
+	return acc
+}
+
+// Mbps formats a bits/s value in Mbit/s.
+func Mbps(bps float64) float64 { return bps / 1e6 }
+
+// newPoisson attaches a Poisson raw source to the rig.
+func newPoisson(r *Rig, rtt sim.Time, rateBps float64) *crosstraffic.RawSource {
+	return crosstraffic.NewPoisson(r.Net, rtt, rateBps, r.Rng.Split("poisson"))
+}
+
+// newCBR attaches a constant-bit-rate raw source to the rig.
+func newCBR(r *Rig, rtt sim.Time, rateBps float64) *crosstraffic.RawSource {
+	return crosstraffic.NewCBR(r.Net, rtt, rateBps)
+}
+
+// AddCross attaches a named cross-traffic generator to the rig (used by
+// cmd/nimbus-sim and the examples). kind is one of: none, cubic, reno,
+// poisson, cbr, trace, video4k, video1080p.
+func AddCross(r *Rig, kind string, rateBps float64, rtt sim.Time) error {
+	switch kind {
+	case "none", "":
+	case "cubic":
+		r.AddCubicCross(1, rtt, 0)
+	case "reno":
+		s := transport.NewSender(r.Net, rtt, cc.NewReno(), transport.Backlogged{}, r.Rng.Split("reno-cross"))
+		s.Start(0)
+	case "poisson":
+		newPoisson(r, rtt, rateBps).Start(0)
+	case "cbr":
+		newCBR(r, rtt, rateBps).Start(0)
+	case "trace":
+		w := &crosstraffic.TraceWorkload{
+			Net:     r.Net,
+			Rng:     r.Rng.Split("trace"),
+			LoadBps: rateBps,
+			RTT:     rtt,
+			NewCC:   func() transport.Controller { return cc.NewCubic() },
+		}
+		w.Start(0)
+	case "video4k", "video1080p":
+		ladder := crosstraffic.Ladder1080p
+		if kind == "video4k" {
+			ladder = crosstraffic.Ladder4K
+		}
+		v := &crosstraffic.VideoClient{
+			Net: r.Net, Rng: r.Rng.Split("video"), RTT: rtt,
+			Ladder: ladder,
+			NewCC:  func() transport.Controller { return cc.NewCubic() },
+		}
+		v.Start(0)
+	default:
+		return fmt.Errorf("exp: unknown cross traffic kind %q", kind)
+	}
+	return nil
+}
+
+// addDeliverTap chains an extra observer onto a sender's delivery hook
+// without disturbing existing observers (the probe's meters).
+func addDeliverTap(s *transport.Sender, tap func(p *netem.Packet, now sim.Time)) {
+	prev := s.OnDeliverHook
+	s.OnDeliverHook = func(p *netem.Packet, now sim.Time) {
+		if prev != nil {
+			prev(p, now)
+		}
+		tap(p, now)
+	}
+}

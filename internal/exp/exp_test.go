@@ -1,0 +1,212 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"nimbus/internal/sim"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every experiment in the DESIGN.md index must be present.
+	want := []string{
+		"fig01", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08",
+		"fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+		"fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22",
+		"fig23", "fig24", "fig25", "fig26", "table1", "tableE",
+	}
+	for _, id := range want {
+		if _, ok := Registry[id]; !ok {
+			t.Fatalf("registry missing %s", id)
+		}
+	}
+	if len(Registry) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(Registry), len(want))
+	}
+	ids := IDs()
+	if len(ids) != len(want) {
+		t.Fatalf("IDs() returned %d", len(ids))
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := Run("fig99", 1, true); err == nil {
+		t.Fatal("expected error for unknown id")
+	}
+}
+
+func TestNewSchemeNames(t *testing.T) {
+	names := []string{
+		"cubic", "reno", "vegas", "copa", "copa-default", "bbr", "vivace",
+		"compound", "nimbus", "nimbus-copa", "nimbus-vegas", "nimbus-reno",
+		"nimbus-delay", "nimbus-competitive",
+	}
+	for _, n := range names {
+		s := NewScheme(n, 96e6, SchemeOpts{})
+		if s.Ctrl == nil {
+			t.Fatalf("scheme %s has nil controller", n)
+		}
+		if strings.HasPrefix(n, "nimbus") && s.Nimbus == nil {
+			t.Fatalf("scheme %s should expose Nimbus", n)
+		}
+		if strings.HasPrefix(n, "copa") && s.Copa == nil {
+			t.Fatalf("scheme %s should expose Copa", n)
+		}
+	}
+}
+
+func TestNewSchemeUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unknown scheme")
+		}
+	}()
+	NewScheme("quic", 96e6, SchemeOpts{})
+}
+
+func TestNewRigAQMs(t *testing.T) {
+	for _, aqm := range []string{"droptail", "pie", "codel", ""} {
+		r := NewRig(NetConfig{RateMbps: 96, RTT: 50 * sim.Millisecond, AQM: aqm, Seed: 1})
+		if r.Link == nil || r.Net == nil {
+			t.Fatalf("rig for %q incomplete", aqm)
+		}
+	}
+}
+
+func TestAddCrossKinds(t *testing.T) {
+	for _, kind := range []string{"none", "cubic", "reno", "poisson", "cbr", "trace", "video4k", "video1080p"} {
+		r := NewRig(NetConfig{RateMbps: 96, RTT: 50 * sim.Millisecond, Seed: 1})
+		if err := AddCross(r, kind, 24e6, 50*sim.Millisecond); err != nil {
+			t.Fatalf("AddCross(%s): %v", kind, err)
+		}
+		r.Sch.RunUntil(200 * sim.Millisecond) // must not panic
+	}
+	r := NewRig(NetConfig{RateMbps: 96, RTT: 50 * sim.Millisecond, Seed: 1})
+	if err := AddCross(r, "bogus", 0, 0); err == nil {
+		t.Fatal("expected error for unknown cross kind")
+	}
+}
+
+func TestFig07PulseChecks(t *testing.T) {
+	r := Fig07()
+	if r.PeakFracOfMu < 0.249 || r.PeakFracOfMu > 0.251 {
+		t.Fatalf("peak = %v", r.PeakFracOfMu)
+	}
+	if r.TroughFracOfMu < 0.082 || r.TroughFracOfMu > 0.085 {
+		t.Fatalf("trough = %v", r.TroughFracOfMu)
+	}
+	if r.MeanFracOfMu > 1e-3 {
+		t.Fatalf("mean = %v", r.MeanFracOfMu)
+	}
+	if r.BurstFracOfBDP < 0.035 || r.BurstFracOfBDP > 0.045 {
+		t.Fatalf("burst/BDP = %v, paper says ~0.04", r.BurstFracOfBDP)
+	}
+}
+
+func TestFig05Shape(t *testing.T) {
+	rows := Fig05(1)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	elastic, inelastic := rows[0], rows[1]
+	if !elastic.Elastic || inelastic.Elastic {
+		t.Fatal("row order wrong")
+	}
+	if elastic.Eta < 2 {
+		t.Fatalf("elastic eta = %v, want >= 2", elastic.Eta)
+	}
+	if inelastic.Eta >= 2 {
+		t.Fatalf("inelastic eta = %v, want < 2", inelastic.Eta)
+	}
+	// The discriminating quantity is eta (a ratio); the absolute peak
+	// magnitudes depend on the operating mode but must still separate.
+	if elastic.PeakAt5 < 1.5*inelastic.PeakAt5 {
+		t.Fatalf("5 Hz peak separation too small: %v vs %v", elastic.PeakAt5, inelastic.PeakAt5)
+	}
+}
+
+func TestFig04Shape(t *testing.T) {
+	rows := Fig04(1)
+	el, inel := rows[0], rows[1]
+	if el.ZOscillation < 2*inel.ZOscillation {
+		t.Fatalf("elastic z oscillation %v not clearly above inelastic %v",
+			el.ZOscillation, inel.ZOscillation)
+	}
+	if el.S.Len() == 0 || el.Z.Len() == 0 {
+		t.Fatal("series empty")
+	}
+}
+
+func TestFig03SelfDelayRatios(t *testing.T) {
+	res := RunFig03(1)
+	// The paper's point: the ratios are similar in both phases, near
+	// the flow's throughput share. Allow a broad band.
+	if res.ElasticSelfRatio < 0.2 || res.ElasticSelfRatio > 0.8 {
+		t.Fatalf("elastic self ratio = %v", res.ElasticSelfRatio)
+	}
+	if res.InelasticSelfRatio < 0.2 {
+		t.Fatalf("inelastic self ratio = %v", res.InelasticSelfRatio)
+	}
+	diff := res.ElasticSelfRatio - res.InelasticSelfRatio
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 0.45 {
+		t.Fatalf("self ratios should be indistinguishable-ish: %v vs %v",
+			res.ElasticSelfRatio, res.InelasticSelfRatio)
+	}
+}
+
+func TestFig23HighCBRShape(t *testing.T) {
+	// The key claim of App D.1: at 80 Mbit/s CBR Copa misclassifies
+	// (high wrong-mode fraction and delay), Nimbus does not.
+	copa := RunFig23Point("copa", 80, 1, 40*sim.Second)
+	nimb := RunFig23Point("nimbus", 80, 1, 40*sim.Second)
+	if nimb.WrongModeFrac > 0.3 {
+		t.Fatalf("nimbus wrong-mode at 80M CBR = %v", nimb.WrongModeFrac)
+	}
+	if copa.WrongModeFrac < nimb.WrongModeFrac {
+		t.Fatalf("copa (%v) should be worse than nimbus (%v) at high CBR",
+			copa.WrongModeFrac, nimb.WrongModeFrac)
+	}
+}
+
+func TestPaths25Properties(t *testing.T) {
+	paths := Paths25()
+	if len(paths) != 25 {
+		t.Fatalf("got %d paths", len(paths))
+	}
+	policers := 0
+	names := map[string]bool{}
+	for _, p := range paths {
+		if names[p.Name] {
+			t.Fatalf("duplicate path name %s", p.Name)
+		}
+		names[p.Name] = true
+		if p.RateMbps <= 0 || p.RTT <= 0 || p.Buffer <= 0 {
+			t.Fatalf("invalid path %+v", p)
+		}
+		if p.Policer {
+			policers++
+		}
+	}
+	if policers == 0 {
+		t.Fatal("suite needs lossy/policed paths")
+	}
+	if policers > 12 {
+		t.Fatal("too many policed paths; Fig 19 needs paths with queueing")
+	}
+}
+
+func TestFormattersNonEmpty(t *testing.T) {
+	// Cheap formatting checks (no simulation).
+	if s := FormatFig07(Fig07()); !strings.Contains(s, "pulse") {
+		t.Fatal("fig07 format")
+	}
+	if s := FormatTable1([]Table1Row{{CrossTraffic: "x", PaperSays: "Elastic", Classified: "Elastic"}}); !strings.Contains(s, "Table 1") {
+		t.Fatal("table1 format")
+	}
+	if s := FormatFig14(Fig14Result{}); !strings.Contains(s, "Fig 14") {
+		t.Fatal("fig14 format")
+	}
+}

@@ -1,0 +1,95 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"nimbus/internal/cc"
+	"nimbus/internal/core"
+	"nimbus/internal/sim"
+	"nimbus/internal/stats"
+	"nimbus/internal/transport"
+)
+
+// Fig06Row reproduces one curve of Fig. 6: the CDF of the elasticity
+// metric η as the fraction of cross-traffic bytes belonging to elastic
+// flows varies from 0% to 100%.
+type Fig06Row struct {
+	ElasticFraction float64 // 0, 0.25, 0.5, 0.75, 1.0
+	EtaCDF          []stats.CDFPoint
+	MedianEta       float64
+	FracAboveThresh float64 // fraction of samples with eta >= 2
+}
+
+// RunFig06Point runs one elastic-fraction point: cross traffic is a
+// fixed-window (ACK-clocked, rate-pinned) elastic component plus Poisson
+// inelastic traffic, together offering ~half the link.
+func RunFig06Point(frac float64, seed int64, dur sim.Time) Fig06Row {
+	r := NewRig(NetConfig{RateMbps: 96, RTT: 50 * sim.Millisecond, Buffer: 100 * sim.Millisecond, Seed: seed})
+	s := NewScheme("nimbus", r.MuBps, SchemeOpts{})
+	r.AddFlow(s, 50*sim.Millisecond, 0)
+
+	crossTotal := 48e6
+	elasticRate := frac * crossTotal
+	inelasticRate := (1 - frac) * crossTotal
+	if elasticRate > 0 {
+		// Fixed window sized for the target rate at the base RTT plus
+		// expected queueing: W = rate * rtt / 8 bytes, in packets.
+		rtt := 62 * sim.Millisecond // base + BasicDelay's target queue
+		pkts := int(elasticRate / 8 * rtt.Seconds() / 1500)
+		if pkts < 2 {
+			pkts = 2
+		}
+		r.AddFlowSrc(Scheme{Name: "fixedwin", Ctrl: cc.NewFixedWindow(pkts)}, 50*sim.Millisecond, 0, transport.Backlogged{})
+	}
+	if inelasticRate > 0 {
+		newPoisson(r, 40*sim.Millisecond, inelasticRate).Start(0)
+	}
+
+	var etas []float64
+	s.Nimbus.OnTick = func(t core.Telemetry) {
+		if t.Now > 10*sim.Second && t.EtaReady {
+			etas = append(etas, t.Eta)
+		}
+	}
+	r.Sch.RunUntil(dur)
+
+	row := Fig06Row{ElasticFraction: frac}
+	row.EtaCDF = stats.CDF(etas, 200)
+	row.MedianEta = stats.Median(etas)
+	above := 0
+	for _, e := range etas {
+		if e >= 2 {
+			above++
+		}
+	}
+	if len(etas) > 0 {
+		row.FracAboveThresh = float64(above) / float64(len(etas))
+	}
+	return row
+}
+
+// Fig06 sweeps the elastic fraction.
+func Fig06(seed int64, quick bool) []Fig06Row {
+	dur := 120 * sim.Second
+	if quick {
+		dur = 40 * sim.Second
+	}
+	var out []Fig06Row
+	for _, f := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+		out = append(out, RunFig06Point(f, seed, dur))
+	}
+	return out
+}
+
+// FormatFig06 renders the result.
+func FormatFig06(rows []Fig06Row) string {
+	var b strings.Builder
+	b.WriteString("Fig 6: elasticity metric vs elastic fraction of cross traffic\n")
+	fmt.Fprintf(&b, "%-16s %10s %18s\n", "elastic frac", "median eta", "frac eta>=2")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%15.0f%% %10.2f %18.2f\n", r.ElasticFraction*100, r.MedianEta, r.FracAboveThresh)
+	}
+	b.WriteString("expected shape: median eta ~1 at 0% rising monotonically; >=25% elastic mostly above threshold\n")
+	return b.String()
+}

@@ -1,0 +1,66 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"nimbus/internal/sim"
+	"nimbus/internal/stats"
+)
+
+// Fig13Row is one cell of Fig. 13: Nimbus at a given pulse size against
+// the trace workload at a given offered load, with Cubic and Vegas
+// baselines.
+type Fig13Row struct {
+	Scheme      string
+	LoadFrac    float64
+	PulseFrac   float64
+	MeanMbps    float64
+	MedianRTTms float64
+	RateCDF     []stats.CDFPoint
+	RTTCDF      []stats.CDFPoint
+}
+
+// Fig13 sweeps load {50%, 90%} and Nimbus pulse size {0.125, 0.25}
+// against Cubic and Vegas baselines.
+func Fig13(seed int64, quick bool) []Fig13Row {
+	dur := 120 * sim.Second
+	if quick {
+		dur = 50 * sim.Second
+	}
+	var out []Fig13Row
+	for _, load := range []float64{0.5, 0.9} {
+		for _, pulse := range []float64{0.125, 0.25} {
+			r := runFig13(fmt.Sprintf("nimbus%.3g", pulse), "nimbus", pulse, load, seed, dur)
+			out = append(out, r)
+		}
+		out = append(out, runFig13("cubic", "cubic", 0, load, seed, dur))
+		out = append(out, runFig13("vegas", "vegas", 0, load, seed, dur))
+	}
+	return out
+}
+
+func runFig13(label, scheme string, pulse, load float64, seed int64, dur sim.Time) Fig13Row {
+	row9 := runFig09WithOpts(scheme, SchemeOpts{PulseFraction: pulse}, seed, dur, load)
+	return Fig13Row{
+		Scheme:      label,
+		LoadFrac:    load,
+		PulseFrac:   pulse,
+		MeanMbps:    row9.MeanMbps,
+		MedianRTTms: row9.MedianRTTms,
+		RateCDF:     row9.RateCDF,
+		RTTCDF:      row9.RTTCDF,
+	}
+}
+
+// FormatFig13 renders the sweep.
+func FormatFig13(rows []Fig13Row) string {
+	var b strings.Builder
+	b.WriteString("Fig 13: cross-traffic load and pulse size\n")
+	fmt.Fprintf(&b, "%-12s %6s %8s %12s\n", "scheme", "load", "Mbit/s", "median RTT")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %5.0f%% %8.1f %9.0f ms\n", r.Scheme, r.LoadFrac*100, r.MeanMbps, r.MedianRTTms)
+	}
+	b.WriteString("expected shape: nimbus ~ cubic throughput at both loads; delay benefit largest at 50% load; larger pulse behaves better at 50%\n")
+	return b.String()
+}

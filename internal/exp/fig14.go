@@ -1,0 +1,140 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"nimbus/internal/cc"
+	"nimbus/internal/sim"
+	"nimbus/internal/transport"
+)
+
+// Fig14LeftRow compares Nimbus's and Copa's classification accuracy
+// against purely inelastic cross traffic occupying a varying share of
+// the link (Fig. 14 left). The correct answer is always "inelastic"
+// (delay mode / Copa default mode).
+type Fig14LeftRow struct {
+	Share     float64 // cross traffic share of the link
+	Kind      string  // "cbr" or "poisson"
+	NimbusAcc float64
+	CopaAcc   float64
+}
+
+// RunFig14Left runs one share point.
+func RunFig14Left(share float64, kind string, seed int64, dur sim.Time) Fig14LeftRow {
+	truth := func(sim.Time) bool { return false } // never elastic
+
+	// Nimbus run.
+	r1 := NewRig(NetConfig{RateMbps: 96, RTT: 50 * sim.Millisecond, Buffer: 100 * sim.Millisecond, Seed: seed})
+	n := NewScheme("nimbus", r1.MuBps, SchemeOpts{})
+	r1.AddFlow(n, 50*sim.Millisecond, 0)
+	addInelastic(r1, kind, share*r1.MuBps)
+	var mt ModeTracker
+	mt.Track(n.Nimbus, truth, 10*sim.Second)
+	r1.Sch.RunUntil(dur)
+
+	// Copa run.
+	r2 := NewRig(NetConfig{RateMbps: 96, RTT: 50 * sim.Millisecond, Buffer: 100 * sim.Millisecond, Seed: seed})
+	c := NewScheme("copa", r2.MuBps, SchemeOpts{})
+	r2.AddFlow(c, 50*sim.Millisecond, 0)
+	addInelastic(r2, kind, share*r2.MuBps)
+	acc := r2.CopaModeProbe(c.Copa, truth, 10*sim.Second)
+	r2.Sch.RunUntil(dur)
+
+	return Fig14LeftRow{
+		Share: share, Kind: kind,
+		NimbusAcc: mt.Acc.Accuracy(),
+		CopaAcc:   acc.Accuracy(),
+	}
+}
+
+func addInelastic(r *Rig, kind string, rate float64) {
+	switch kind {
+	case "cbr":
+		newCBR(r, 40*sim.Millisecond, rate).Start(0)
+	case "poisson":
+		newPoisson(r, 40*sim.Millisecond, rate).Start(0)
+	default:
+		panic("exp: unknown inelastic kind " + kind)
+	}
+}
+
+// Fig14RightRow compares accuracy against one elastic NewReno cross flow
+// whose RTT is a multiple of the probe flow's (Fig. 14 right). The
+// correct answer is always "elastic".
+type Fig14RightRow struct {
+	RTTRatio  float64
+	NimbusAcc float64
+	CopaAcc   float64
+}
+
+// RunFig14Right runs one RTT-ratio point.
+func RunFig14Right(ratio float64, seed int64, dur sim.Time) Fig14RightRow {
+	truth := func(sim.Time) bool { return true }
+	base := 50 * sim.Millisecond
+	crossRTT := sim.Time(float64(base) * ratio)
+
+	r1 := NewRig(NetConfig{RateMbps: 96, RTT: base, Buffer: 100 * sim.Millisecond, Seed: seed})
+	n := NewScheme("nimbus", r1.MuBps, SchemeOpts{})
+	r1.AddFlow(n, base, 0)
+	reno1 := transport.NewSender(r1.Net, crossRTT, cc.NewReno(), transport.Backlogged{}, r1.Rng.Split("reno"))
+	reno1.Start(0)
+	var mt ModeTracker
+	mt.Track(n.Nimbus, truth, 10*sim.Second)
+	r1.Sch.RunUntil(dur)
+
+	r2 := NewRig(NetConfig{RateMbps: 96, RTT: base, Buffer: 100 * sim.Millisecond, Seed: seed})
+	c := NewScheme("copa", r2.MuBps, SchemeOpts{})
+	r2.AddFlow(c, base, 0)
+	reno2 := transport.NewSender(r2.Net, crossRTT, cc.NewReno(), transport.Backlogged{}, r2.Rng.Split("reno"))
+	reno2.Start(0)
+	acc := r2.CopaModeProbe(c.Copa, truth, 10*sim.Second)
+	r2.Sch.RunUntil(dur)
+
+	return Fig14RightRow{RTTRatio: ratio, NimbusAcc: mt.Acc.Accuracy(), CopaAcc: acc.Accuracy()}
+}
+
+// Fig14Result bundles both panels.
+type Fig14Result struct {
+	Left  []Fig14LeftRow
+	Right []Fig14RightRow
+}
+
+// Fig14 runs both sweeps.
+func Fig14(seed int64, quick bool) Fig14Result {
+	dur := 120 * sim.Second
+	shares := []float64{0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	ratios := []float64{1, 1.5, 2, 2.5, 3, 3.5, 4}
+	if quick {
+		dur = 45 * sim.Second
+		shares = []float64{0.3, 0.5, 0.7, 0.9}
+		ratios = []float64{1, 2, 4}
+	}
+	var res Fig14Result
+	for _, s := range shares {
+		for _, kind := range []string{"cbr", "poisson"} {
+			res.Left = append(res.Left, RunFig14Left(s, kind, seed, dur))
+		}
+	}
+	for _, rt := range ratios {
+		res.Right = append(res.Right, RunFig14Right(rt, seed, dur))
+	}
+	return res
+}
+
+// FormatFig14 renders both panels.
+func FormatFig14(r Fig14Result) string {
+	var b strings.Builder
+	b.WriteString("Fig 14 (left): accuracy vs inelastic cross-traffic share\n")
+	fmt.Fprintf(&b, "%6s %-8s %8s %8s\n", "share", "kind", "nimbus", "copa")
+	for _, row := range r.Left {
+		fmt.Fprintf(&b, "%5.0f%% %-8s %8.2f %8.2f\n", row.Share*100, row.Kind, row.NimbusAcc, row.CopaAcc)
+	}
+	b.WriteString("Fig 14 (right): accuracy vs elastic cross-flow RTT ratio\n")
+	fmt.Fprintf(&b, "%6s %8s %8s\n", "ratio", "nimbus", "copa")
+	for _, row := range r.Right {
+		fmt.Fprintf(&b, "%6.1f %8.2f %8.2f\n", row.RTTRatio, row.NimbusAcc, row.CopaAcc)
+	}
+	b.WriteString("expected shape: copa collapses above ~80% share and degrades with RTT ratio; nimbus stays high\n")
+	return b.String()
+}

@@ -1,0 +1,80 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"nimbus/internal/cc"
+	"nimbus/internal/sim"
+	"nimbus/internal/transport"
+)
+
+// Fig15Row is one point of Fig. 15: Nimbus's classification accuracy as
+// the cross-traffic RTT varies from 0.2x to 4x the flow's RTT, for
+// elastic, inelastic, and 50/50 mixed cross traffic.
+type Fig15Row struct {
+	RTTRatio float64
+	Mix      string // "elastic", "inelastic", "mix"
+	Accuracy float64
+}
+
+// RunFig15Point runs one (ratio, mix) cell.
+func RunFig15Point(ratio float64, mix string, seed int64, dur sim.Time) Fig15Row {
+	base := 50 * sim.Millisecond
+	crossRTT := sim.Time(float64(base) * ratio)
+	r := NewRig(NetConfig{RateMbps: 96, RTT: base, Buffer: 100 * sim.Millisecond, Seed: seed})
+	n := NewScheme("nimbus", r.MuBps, SchemeOpts{})
+	r.AddFlow(n, base, 0)
+
+	var truly bool
+	switch mix {
+	case "elastic":
+		s := transport.NewSender(r.Net, crossRTT, cc.NewReno(), transport.Backlogged{}, r.Rng.Split("reno"))
+		s.Start(0)
+		truly = true
+	case "inelastic":
+		newPoisson(r, crossRTT, 0.4*r.MuBps).Start(0)
+		truly = false
+	case "mix":
+		s := transport.NewSender(r.Net, crossRTT, cc.NewReno(), transport.Backlogged{}, r.Rng.Split("reno"))
+		s.Start(0)
+		newPoisson(r, crossRTT, 0.25*r.MuBps).Start(0)
+		truly = true
+	default:
+		panic("exp: unknown mix " + mix)
+	}
+
+	var mt ModeTracker
+	mt.Track(n.Nimbus, func(sim.Time) bool { return truly }, 10*sim.Second)
+	r.Sch.RunUntil(dur)
+	return Fig15Row{RTTRatio: ratio, Mix: mix, Accuracy: mt.Acc.Accuracy()}
+}
+
+// Fig15 runs the sweep.
+func Fig15(seed int64, quick bool) []Fig15Row {
+	dur := 120 * sim.Second
+	ratios := []float64{0.2, 0.4, 0.6, 0.8, 1.0, 1.5, 2.0, 4.0}
+	if quick {
+		dur = 45 * sim.Second
+		ratios = []float64{0.2, 1.0, 4.0}
+	}
+	var out []Fig15Row
+	for _, mix := range []string{"elastic", "mix", "inelastic"} {
+		for _, rt := range ratios {
+			out = append(out, RunFig15Point(rt, mix, seed, dur))
+		}
+	}
+	return out
+}
+
+// FormatFig15 renders the sweep.
+func FormatFig15(rows []Fig15Row) string {
+	var b strings.Builder
+	b.WriteString("Fig 15: Nimbus accuracy vs cross-traffic RTT ratio\n")
+	fmt.Fprintf(&b, "%-10s %6s %9s\n", "mix", "ratio", "accuracy")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %6.1f %9.2f\n", r.Mix, r.RTTRatio, r.Accuracy)
+	}
+	b.WriteString("expected shape: ~98% for pure elastic/inelastic, >=80% for mixes, flat across ratios\n")
+	return b.String()
+}

@@ -1,0 +1,76 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"nimbus/internal/cc"
+	"nimbus/internal/sim"
+	"nimbus/internal/transport"
+)
+
+// Fig22Row compares Nimbus's and Cubic's throughput when competing with
+// one BBR flow, across buffer sizes (App. C, Fig. 22). The claim: Nimbus
+// does no worse than Cubic against BBR regardless of buffer depth, even
+// though the detector classifies BBR differently by buffer size
+// (inelastic when shallow, elastic when deep).
+type Fig22Row struct {
+	BufferBDP  float64
+	NimbusMbps float64
+	CubicMbps  float64
+	// NimbusCompetitiveFrac: how the detector classified BBR.
+	NimbusCompetitiveFrac float64
+}
+
+// RunFig22Point runs both schemes against BBR at one buffer depth.
+func RunFig22Point(bufBDP float64, seed int64, dur sim.Time) Fig22Row {
+	rtt := 50 * sim.Millisecond
+	buf := sim.Time(bufBDP * float64(rtt))
+	run := func(scheme string) (float64, float64) {
+		r := NewRig(NetConfig{RateMbps: 96, RTT: rtt, Buffer: buf, Seed: seed})
+		sch := NewScheme(scheme, r.MuBps, SchemeOpts{})
+		probe := r.AddFlow(sch, rtt, 0)
+		bbr := transport.NewSender(r.Net, rtt, cc.NewBBR(), transport.Backlogged{}, r.Rng.Split("bbr"))
+		bbr.Start(0)
+		var mt ModeTracker
+		if sch.Nimbus != nil {
+			mt.Track(sch.Nimbus, func(sim.Time) bool { return true }, 10*sim.Second)
+		}
+		r.Sch.RunUntil(dur)
+		frac := 0.0
+		if sch.Nimbus != nil && mt.Acc.TotalScored() > 0 {
+			frac = mt.Acc.Accuracy() // truth=elastic, so accuracy == competitive fraction
+		}
+		return probe.MeanMbps(5*sim.Second, dur), frac
+	}
+	nim, frac := run("nimbus")
+	cub, _ := run("cubic")
+	return Fig22Row{BufferBDP: bufBDP, NimbusMbps: nim, CubicMbps: cub, NimbusCompetitiveFrac: frac}
+}
+
+// Fig22 sweeps buffer sizes 0.5-4 BDP.
+func Fig22(seed int64, quick bool) []Fig22Row {
+	dur := 120 * sim.Second
+	bufs := []float64{0.5, 1, 2, 4}
+	if quick {
+		dur = 45 * sim.Second
+		bufs = []float64{0.5, 2}
+	}
+	var out []Fig22Row
+	for _, b := range bufs {
+		out = append(out, RunFig22Point(b, seed, dur))
+	}
+	return out
+}
+
+// FormatFig22 renders the sweep.
+func FormatFig22(rows []Fig22Row) string {
+	var b strings.Builder
+	b.WriteString("Fig 22 (App C): competing with one BBR flow on 96 Mbit/s\n")
+	fmt.Fprintf(&b, "%10s %12s %12s %18s\n", "buffer BDP", "nimbus Mbps", "cubic Mbps", "nimbus comp. frac")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%10.1f %12.1f %12.1f %18.2f\n", r.BufferBDP, r.NimbusMbps, r.CubicMbps, r.NimbusCompetitiveFrac)
+	}
+	b.WriteString("expected shape: nimbus ~ cubic at every buffer; BBR classified elastic only with deep buffers\n")
+	return b.String()
+}

@@ -1,0 +1,151 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"nimbus/internal/cc"
+	"nimbus/internal/sim"
+	"nimbus/internal/transport"
+)
+
+// Fig23Row shows Copa vs Nimbus dynamics against CBR cross traffic at a
+// low (25%) and high (83%) share (App. D.1): Copa misclassifies the
+// high-share case as buffer-filling and keeps delays high; Nimbus stays
+// in delay mode.
+type Fig23Row struct {
+	Scheme      string
+	CBRMbps     float64
+	MeanMbps    float64
+	MeanDelayMs float64
+	// WrongModeFrac: time fraction in competitive mode (truth:
+	// inelastic, so any competitive time is wrong).
+	WrongModeFrac float64
+}
+
+// RunFig23Point runs one (scheme, cbr) cell on a 96 Mbit/s link.
+func RunFig23Point(scheme string, cbrMbps float64, seed int64, dur sim.Time) Fig23Row {
+	r := NewRig(NetConfig{RateMbps: 96, RTT: 50 * sim.Millisecond, Buffer: 100 * sim.Millisecond, Seed: seed})
+	sch := NewScheme(scheme, r.MuBps, SchemeOpts{})
+	probe := r.AddFlow(sch, 50*sim.Millisecond, 0)
+	newCBR(r, 40*sim.Millisecond, cbrMbps*1e6).Start(0)
+
+	row := Fig23Row{Scheme: scheme, CBRMbps: cbrMbps}
+	truth := func(sim.Time) bool { return false }
+	var mt ModeTracker
+	if sch.Nimbus != nil {
+		mt.Track(sch.Nimbus, truth, 10*sim.Second)
+	}
+	var copaAcc *accProxy
+	if sch.Copa != nil {
+		copaAcc = &accProxy{t: r.CopaModeProbe(sch.Copa, truth, 10*sim.Second)}
+	}
+	r.Sch.RunUntil(dur)
+	row.MeanMbps = probe.MeanMbps(5*sim.Second, dur)
+	row.MeanDelayMs = probe.Delay.Summary().Mean
+	if sch.Nimbus != nil {
+		row.WrongModeFrac = 1 - mt.Acc.Accuracy()
+	}
+	if copaAcc != nil {
+		row.WrongModeFrac = 1 - copaAcc.t.Accuracy()
+	}
+	return row
+}
+
+type accProxy struct{ t accuracyReader }
+
+type accuracyReader interface{ Accuracy() float64 }
+
+// Fig23 runs the 2x2 grid.
+func Fig23(seed int64, quick bool) []Fig23Row {
+	dur := 60 * sim.Second
+	if quick {
+		dur = 40 * sim.Second
+	}
+	var out []Fig23Row
+	for _, cbr := range []float64{24, 80} {
+		for _, s := range []string{"copa", "nimbus"} {
+			out = append(out, RunFig23Point(s, cbr, seed, dur))
+		}
+	}
+	return out
+}
+
+// FormatFig23 renders the grid.
+func FormatFig23(rows []Fig23Row) string {
+	var b strings.Builder
+	b.WriteString("Fig 23 (App D.1): CBR cross traffic, 96 Mbit/s, 2 BDP\n")
+	fmt.Fprintf(&b, "%-8s %6s %8s %10s %12s\n", "scheme", "CBR", "Mbit/s", "delay ms", "wrong-mode")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %4.0fM %8.1f %10.1f %12.2f\n", r.Scheme, r.CBRMbps, r.MeanMbps, r.MeanDelayMs, r.WrongModeFrac)
+	}
+	b.WriteString("expected shape: at 80M copa sticks in competitive mode (high delay); nimbus correct at both\n")
+	return b.String()
+}
+
+// Fig24Row shows Copa vs Nimbus against an elastic NewReno flow with
+// equal or 4x RTT (App. D.2): Copa misses the slow-growing high-RTT
+// flow and underutilizes; Nimbus classifies it elastic.
+type Fig24Row struct {
+	Scheme        string
+	RTTRatio      float64
+	MeanMbps      float64
+	WrongModeFrac float64 // truth: elastic
+}
+
+// RunFig24Point runs one cell.
+func RunFig24Point(scheme string, ratio float64, seed int64, dur sim.Time) Fig24Row {
+	rtt := 50 * sim.Millisecond
+	r := NewRig(NetConfig{RateMbps: 96, RTT: rtt, Buffer: 100 * sim.Millisecond, Seed: seed})
+	sch := NewScheme(scheme, r.MuBps, SchemeOpts{})
+	probe := r.AddFlow(sch, rtt, 0)
+	reno := transport.NewSender(r.Net, sim.Time(float64(rtt)*ratio), cc.NewReno(), transport.Backlogged{}, r.Rng.Split("reno"))
+	reno.Start(0)
+
+	truth := func(sim.Time) bool { return true }
+	var mt ModeTracker
+	if sch.Nimbus != nil {
+		mt.Track(sch.Nimbus, truth, 10*sim.Second)
+	}
+	var copaAcc *accProxy
+	if sch.Copa != nil {
+		copaAcc = &accProxy{t: r.CopaModeProbe(sch.Copa, truth, 10*sim.Second)}
+	}
+	r.Sch.RunUntil(dur)
+	row := Fig24Row{Scheme: scheme, RTTRatio: ratio}
+	row.MeanMbps = probe.MeanMbps(5*sim.Second, dur)
+	if sch.Nimbus != nil {
+		row.WrongModeFrac = 1 - mt.Acc.Accuracy()
+	}
+	if copaAcc != nil {
+		row.WrongModeFrac = 1 - copaAcc.t.Accuracy()
+	}
+	return row
+}
+
+// Fig24 runs the 2x2 grid.
+func Fig24(seed int64, quick bool) []Fig24Row {
+	dur := 60 * sim.Second
+	if quick {
+		dur = 40 * sim.Second
+	}
+	var out []Fig24Row
+	for _, ratio := range []float64{1, 4} {
+		for _, s := range []string{"copa", "nimbus"} {
+			out = append(out, RunFig24Point(s, ratio, seed, dur))
+		}
+	}
+	return out
+}
+
+// FormatFig24 renders the grid.
+func FormatFig24(rows []Fig24Row) string {
+	var b strings.Builder
+	b.WriteString("Fig 24 (App D.2): one elastic NewReno cross flow, RTT ratio 1x / 4x\n")
+	fmt.Fprintf(&b, "%-8s %6s %8s %12s\n", "scheme", "ratio", "Mbit/s", "wrong-mode")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %6.1f %8.1f %12.2f\n", r.Scheme, r.RTTRatio, r.MeanMbps, r.WrongModeFrac)
+	}
+	b.WriteString("expected shape: at 4x copa misclassifies (low share); nimbus stays competitive and keeps its share\n")
+	return b.String()
+}

@@ -1,0 +1,92 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment is a runnable reproduction of one paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	// Run executes the experiment and returns the formatted report.
+	Run func(seed int64, quick bool) string
+}
+
+// Registry maps experiment ids ("fig01".."fig26", "table1", "tableE") to
+// their runners. cmd/nimbus-bench and the root benchmarks both use it.
+var Registry = map[string]Experiment{
+	"fig01": {"fig01", "Motivating comparison (Cubic / delay-control / Nimbus)",
+		func(seed int64, quick bool) string { return FormatFig01(Fig01(seed)) }},
+	"fig03": {"fig03", "Self-inflicted delay does not reveal elasticity",
+		func(seed int64, quick bool) string { return FormatFig03(RunFig03(seed)) }},
+	"fig04": {"fig04", "Cross-traffic reaction to pulses",
+		func(seed int64, quick bool) string { return FormatFig04(Fig04(seed)) }},
+	"fig05": {"fig05", "FFT of the cross-traffic estimate",
+		func(seed int64, quick bool) string { return FormatFig05(Fig05(seed)) }},
+	"fig06": {"fig06", "Eta distribution vs elastic fraction",
+		func(seed int64, quick bool) string { return FormatFig06(Fig06(seed, quick)) }},
+	"fig07": {"fig07", "Asymmetric pulse shape",
+		func(seed int64, quick bool) string { return FormatFig07(Fig07()) }},
+	"fig08": {"fig08", "Eight-scheme panel with scripted cross traffic",
+		func(seed int64, quick bool) string { return FormatFig08(Fig08(seed, quick)) }},
+	"fig09": {"fig09", "WAN trace workload: rate/RTT distributions",
+		func(seed int64, quick bool) string { return FormatFig09(Fig09(seed, quick)) }},
+	"fig10": {"fig10", "Copa throughput drop vs elastic flows",
+		func(seed int64, quick bool) string { return FormatFig10(Fig10(seed, quick)) }},
+	"fig11": {"fig11", "Video cross traffic",
+		func(seed int64, quick bool) string { return FormatFig11(Fig11(seed, quick)) }},
+	"fig12": {"fig12", "Eta tracks true elastic fraction",
+		func(seed int64, quick bool) string { return FormatFig12(Fig12(seed, quick)) }},
+	"fig13": {"fig13", "Offered load and pulse size",
+		func(seed int64, quick bool) string { return FormatFig13(Fig13(seed, quick)) }},
+	"fig14": {"fig14", "Accuracy vs Copa (inelastic share; RTT ratio)",
+		func(seed int64, quick bool) string { return FormatFig14(Fig14(seed, quick)) }},
+	"fig15": {"fig15", "Accuracy vs cross-traffic RTT",
+		func(seed int64, quick bool) string { return FormatFig15(Fig15(seed, quick)) }},
+	"fig16": {"fig16", "Multiple Nimbus flows: fairness and pulser election",
+		func(seed int64, quick bool) string { return FormatFig16(Fig16(seed, quick)) }},
+	"fig17": {"fig17", "Multiple Nimbus flows with cross traffic",
+		func(seed int64, quick bool) string { return FormatFig17(Fig17(seed, quick)) }},
+	"fig18": {"fig18", "Three example Internet paths",
+		func(seed int64, quick bool) string { return FormatFig18(Fig18(seed, quick)) }},
+	"fig19": {"fig19", "25-path suite summary",
+		func(seed int64, quick bool) string { return FormatFig19(Fig19(seed, quick)) }},
+	"fig20": {"fig20", "Cubic vs delay-control over repeated runs",
+		func(seed int64, quick bool) string { return FormatFig20(Fig20(seed, quick)) }},
+	"fig21": {"fig21", "Cross-flow FCTs",
+		func(seed int64, quick bool) string { return FormatFig21(Fig21(seed, quick)) }},
+	"fig22": {"fig22", "Competing with BBR across buffer sizes",
+		func(seed int64, quick bool) string { return FormatFig22(Fig22(seed, quick)) }},
+	"fig23": {"fig23", "Copa vs Nimbus: CBR dynamics",
+		func(seed int64, quick bool) string { return FormatFig23(Fig23(seed, quick)) }},
+	"fig24": {"fig24", "Copa vs Nimbus: elastic RTT dynamics",
+		func(seed int64, quick bool) string { return FormatFig24(Fig24(seed, quick)) }},
+	"fig25": {"fig25", "Multi-factor accuracy sweep",
+		func(seed int64, quick bool) string { return FormatFig25(Fig25(seed, quick)) }},
+	"fig26": {"fig26", "Detecting PCC-Vivace via pulse frequency",
+		func(seed int64, quick bool) string { return FormatFig26(Fig26(seed, quick)) }},
+	"table1": {"table1", "Classification by traffic class",
+		func(seed int64, quick bool) string { return FormatTable1(Table1(seed, quick)) }},
+	"tableE": {"tableE", "Buffer/RTT/AQM robustness",
+		func(seed int64, quick bool) string { return FormatTableE(TableE(seed, quick)) }},
+}
+
+// IDs returns the experiment ids in sorted order.
+func IDs() []string {
+	out := make([]string, 0, len(Registry))
+	for id := range Registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run runs one experiment by id.
+func Run(id string, seed int64, quick bool) (string, error) {
+	e, ok := Registry[id]
+	if !ok {
+		return "", fmt.Errorf("unknown experiment %q (known: %v)", id, IDs())
+	}
+	return e.Run(seed, quick), nil
+}

@@ -1,0 +1,193 @@
+// Package metrics provides the recorders the experiments use to produce
+// the paper's tables and figures: binned throughput series, per-packet
+// queueing-delay samples with reservoir capping, classification accuracy
+// against ground truth, and flow-completion-time collections.
+package metrics
+
+import (
+	"nimbus/internal/sim"
+	"nimbus/internal/stats"
+)
+
+// Meter bins delivered bytes into fixed-width time bins and reports a
+// throughput series in Mbit/s.
+type Meter struct {
+	Bin  sim.Time
+	bins []float64 // bytes per bin
+}
+
+// NewMeter returns a meter with the given bin width (e.g. 1 s).
+func NewMeter(bin sim.Time) *Meter { return &Meter{Bin: bin} }
+
+// Add records n bytes delivered at time now.
+func (m *Meter) Add(now sim.Time, n int) {
+	idx := int(now / m.Bin)
+	for len(m.bins) <= idx {
+		m.bins = append(m.bins, 0)
+	}
+	m.bins[idx] += float64(n)
+}
+
+// SeriesMbps returns per-bin throughput in Mbit/s.
+func (m *Meter) SeriesMbps() []float64 {
+	out := make([]float64, len(m.bins))
+	secs := m.Bin.Seconds()
+	for i, b := range m.bins {
+		out[i] = b * 8 / secs / 1e6
+	}
+	return out
+}
+
+// MeanMbps returns the mean throughput over [from, to).
+func (m *Meter) MeanMbps(from, to sim.Time) float64 {
+	lo, hi := int(from/m.Bin), int(to/m.Bin)
+	if hi > len(m.bins) {
+		hi = len(m.bins)
+	}
+	if lo >= hi {
+		return 0
+	}
+	total := 0.0
+	for i := lo; i < hi; i++ {
+		total += m.bins[i]
+	}
+	return total * 8 / (float64(hi-lo) * m.Bin.Seconds()) / 1e6
+}
+
+// DelayRecorder collects per-packet queueing (or RTT) delay samples in
+// milliseconds, with reservoir sampling beyond a cap so long experiments
+// stay in memory.
+type DelayRecorder struct {
+	Cap     int
+	samples []float64
+	seen    int
+	rng     *sim.Rand
+}
+
+// NewDelayRecorder returns a recorder keeping at most cap samples.
+func NewDelayRecorder(cap int, rng *sim.Rand) *DelayRecorder {
+	if cap <= 0 {
+		cap = 200000
+	}
+	return &DelayRecorder{Cap: cap, rng: rng}
+}
+
+// Add records a delay sample.
+func (d *DelayRecorder) Add(delay sim.Time) {
+	d.seen++
+	ms := delay.Millis()
+	if len(d.samples) < d.Cap {
+		d.samples = append(d.samples, ms)
+		return
+	}
+	// Reservoir replacement keeps a uniform sample.
+	j := d.rng.Intn(d.seen)
+	if j < d.Cap {
+		d.samples[j] = ms
+	}
+}
+
+// Samples returns the retained samples (milliseconds).
+func (d *DelayRecorder) Samples() []float64 { return d.samples }
+
+// Summary summarizes the samples.
+func (d *DelayRecorder) Summary() stats.Summary { return stats.Summarize(d.samples) }
+
+// AccuracyTracker scores a binary classifier against ground truth over
+// time, integrating the fraction of time the prediction is correct
+// (the paper's accuracy metric in §8.2).
+type AccuracyTracker struct {
+	Warmup sim.Time // ignore decisions before this time
+
+	lastT     sim.Time
+	lastPred  bool
+	lastTruth bool
+	have      bool
+	correct   sim.Time
+	total     sim.Time
+}
+
+// Observe records the classifier state at time now. Call on every
+// decision tick; time is credited to the previous state.
+func (a *AccuracyTracker) Observe(now sim.Time, predictedElastic, trulyElastic bool) {
+	if a.have && a.lastT >= a.Warmup {
+		dt := now - a.lastT
+		a.total += dt
+		if a.lastPred == a.lastTruth {
+			a.correct += dt
+		}
+	}
+	a.lastT, a.lastPred, a.lastTruth, a.have = now, predictedElastic, trulyElastic, true
+}
+
+// Accuracy returns the time-weighted fraction of correct classification.
+func (a *AccuracyTracker) Accuracy() float64 {
+	if a.total == 0 {
+		return 0
+	}
+	return a.correct.Seconds() / a.total.Seconds()
+}
+
+// TotalScored returns how much time has been scored.
+func (a *AccuracyTracker) TotalScored() sim.Time { return a.total }
+
+// Series is a simple (t, value) time series for figure output.
+type Series struct {
+	T []float64 // seconds
+	V []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(t sim.Time, v float64) {
+	s.T = append(s.T, t.Seconds())
+	s.V = append(s.V, v)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.T) }
+
+// Downsample returns every k-th point (k >= 1).
+func (s *Series) Downsample(k int) Series {
+	if k <= 1 {
+		return *s
+	}
+	var out Series
+	for i := 0; i < len(s.T); i += k {
+		out.T = append(out.T, s.T[i])
+		out.V = append(out.V, s.V[i])
+	}
+	return out
+}
+
+// FCTRecord is one flow completion.
+type FCTRecord struct {
+	SizeBytes int
+	FCT       sim.Time
+}
+
+// FCTBuckets groups completion times by the paper's size buckets
+// (Fig. 21) and reports the p95 per bucket.
+func FCTBuckets(recs []FCTRecord) map[string]stats.Summary {
+	buckets := map[string][]float64{}
+	for _, r := range recs {
+		var name string
+		switch {
+		case r.SizeBytes <= 15e3:
+			name = "15KB"
+		case r.SizeBytes <= 150e3:
+			name = "150KB"
+		case r.SizeBytes <= 1.5e6:
+			name = "1.5MB"
+		case r.SizeBytes <= 15e6:
+			name = "15MB"
+		default:
+			name = "150MB"
+		}
+		buckets[name] = append(buckets[name], r.FCT.Seconds())
+	}
+	out := map[string]stats.Summary{}
+	for k, v := range buckets {
+		out[k] = stats.Summarize(v)
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"nimbus/internal/sim"
+)
+
+func TestMeter(t *testing.T) {
+	m := NewMeter(sim.Second)
+	m.Add(500*sim.Millisecond, 125000)  // bin 0: 1 Mbit
+	m.Add(1500*sim.Millisecond, 250000) // bin 1: 2 Mbit
+	s := m.SeriesMbps()
+	if len(s) != 2 || math.Abs(s[0]-1) > 1e-9 || math.Abs(s[1]-2) > 1e-9 {
+		t.Fatalf("series = %v", s)
+	}
+	if got := m.MeanMbps(0, 2*sim.Second); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := m.MeanMbps(1*sim.Second, 2*sim.Second); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("mean bin1 = %v", got)
+	}
+	if m.MeanMbps(5*sim.Second, 6*sim.Second) != 0 {
+		t.Fatal("mean beyond data should be 0")
+	}
+}
+
+func TestDelayRecorderReservoir(t *testing.T) {
+	d := NewDelayRecorder(100, sim.NewRand(1))
+	for i := 0; i < 10000; i++ {
+		d.Add(sim.Time(i%50) * sim.Millisecond)
+	}
+	if len(d.Samples()) != 100 {
+		t.Fatalf("reservoir size = %d", len(d.Samples()))
+	}
+	s := d.Summary()
+	// Uniform over 0..49 ms: median near 24.5.
+	if s.P50 < 10 || s.P50 > 40 {
+		t.Fatalf("p50 = %v implausible for uniform 0-49", s.P50)
+	}
+}
+
+func TestAccuracyTracker(t *testing.T) {
+	var a AccuracyTracker
+	// 10 s correct, 10 s wrong.
+	a.Observe(0, true, true)
+	a.Observe(10*sim.Second, true, false) // previous 10 s were correct
+	a.Observe(20*sim.Second, false, false)
+	if got := a.Accuracy(); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("accuracy = %v, want 0.5", got)
+	}
+	if a.TotalScored() != 20*sim.Second {
+		t.Fatalf("scored %v", a.TotalScored())
+	}
+}
+
+func TestAccuracyTrackerWarmup(t *testing.T) {
+	a := AccuracyTracker{Warmup: 10 * sim.Second}
+	a.Observe(0, false, true) // wrong, but inside warmup
+	a.Observe(10*sim.Second, true, true)
+	a.Observe(20*sim.Second, true, true)
+	if got := a.Accuracy(); got != 1 {
+		t.Fatalf("accuracy = %v, want 1 (warmup excluded)", got)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	for i := 0; i < 10; i++ {
+		s.Add(sim.Time(i)*sim.Second, float64(i))
+	}
+	if s.Len() != 10 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	d := s.Downsample(3)
+	if d.Len() != 4 || d.V[1] != 3 {
+		t.Fatalf("downsample = %+v", d)
+	}
+}
+
+func TestFCTBuckets(t *testing.T) {
+	recs := []FCTRecord{
+		{SizeBytes: 10e3, FCT: 100 * sim.Millisecond},
+		{SizeBytes: 12e3, FCT: 200 * sim.Millisecond},
+		{SizeBytes: 100e3, FCT: 500 * sim.Millisecond},
+		{SizeBytes: 1e6, FCT: 2 * sim.Second},
+		{SizeBytes: 10e6, FCT: 5 * sim.Second},
+		{SizeBytes: 100e6, FCT: 30 * sim.Second},
+	}
+	b := FCTBuckets(recs)
+	if b["15KB"].N != 2 {
+		t.Fatalf("15KB bucket n = %d", b["15KB"].N)
+	}
+	for _, name := range []string{"150KB", "1.5MB", "15MB", "150MB"} {
+		if b[name].N != 1 {
+			t.Fatalf("bucket %s n = %d", name, b[name].N)
+		}
+	}
+}

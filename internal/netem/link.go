@@ -1,0 +1,84 @@
+package netem
+
+import "nimbus/internal/sim"
+
+// Link models the bottleneck: it drains its Queue at RateBps and hands
+// completed packets to Deliver. It also keeps the counters the experiments
+// report (delivered bytes, drops, busy time for utilization).
+type Link struct {
+	Sch     *sim.Scheduler
+	RateBps float64 // bits per second
+	Q       Queue
+
+	// Deliver is called when a packet finishes transmission.
+	Deliver func(p *Packet, now sim.Time)
+	// OnDrop, if set, is called for packets rejected by the queue.
+	OnDrop func(p *Packet, now sim.Time)
+
+	busy bool
+
+	DeliveredPackets uint64
+	DeliveredBytes   uint64
+	DroppedPackets   uint64
+	busyTime         sim.Time
+	lastStart        sim.Time
+}
+
+// NewLink returns a link draining q at rateBps.
+func NewLink(sch *sim.Scheduler, rateBps float64, q Queue) *Link {
+	return &Link{Sch: sch, RateBps: rateBps, Q: q}
+}
+
+// TxTime returns the serialization time of a packet of n bytes.
+func (l *Link) TxTime(n int) sim.Time {
+	return sim.FromSeconds(float64(n) * 8 / l.RateBps)
+}
+
+// Send enqueues p, starting transmission if the link is idle.
+func (l *Link) Send(p *Packet) {
+	now := l.Sch.Now()
+	if !l.Q.Enqueue(p, now) {
+		l.DroppedPackets++
+		if l.OnDrop != nil {
+			l.OnDrop(p, now)
+		}
+		return
+	}
+	if !l.busy {
+		l.startNext()
+	}
+}
+
+func (l *Link) startNext() {
+	now := l.Sch.Now()
+	p := l.Q.Dequeue(now)
+	if p == nil {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	l.lastStart = now
+	tx := l.TxTime(p.Size)
+	l.Sch.After(tx, func() {
+		l.busyTime += tx
+		l.DeliveredPackets++
+		l.DeliveredBytes += uint64(p.Size)
+		if l.Deliver != nil {
+			l.Deliver(p, l.Sch.Now())
+		}
+		l.startNext()
+	})
+}
+
+// Busy reports whether a packet is currently being transmitted.
+func (l *Link) Busy() bool { return l.busy }
+
+// Utilization returns the fraction of time the link has been transmitting
+// since the start of the simulation.
+func (l *Link) Utilization() float64 {
+	now := l.Sch.Now()
+	if now == 0 {
+		return 0
+	}
+	return l.busyTime.Seconds() / now.Seconds()
+}

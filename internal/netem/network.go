@@ -1,0 +1,125 @@
+package netem
+
+import (
+	"fmt"
+
+	"nimbus/internal/sim"
+)
+
+// Network is the single-bottleneck topology of the paper (Fig. 2). Each
+// attached flow has its own forward (sender→queue) and reverse
+// (receiver→sender) one-way propagation delays, so flows can have
+// different base RTTs. Data packets traverse: sender → forward delay →
+// bottleneck queue → link → receiver. The reverse path is uncongested.
+type Network struct {
+	Sch  *sim.Scheduler
+	Link *Link
+
+	flows map[FlowID]*Attachment
+	next  FlowID
+
+	// QueueMonitor, if set, is sampled by experiments that plot queue
+	// occupancy over time. (The link's queue is directly accessible too.)
+	onDeliver []func(p *Packet, now sim.Time)
+}
+
+// Attachment describes one flow's path through the network.
+type Attachment struct {
+	ID       FlowID
+	FwdDelay sim.Time // one-way sender→bottleneck (includes bottleneck→receiver wire)
+	RevDelay sim.Time // one-way receiver→sender
+
+	// Receive is called when a data packet of this flow exits the link.
+	Receive func(p *Packet, now sim.Time)
+	// Dropped, if set, is called when a packet of this flow is dropped
+	// at the bottleneck.
+	Dropped func(p *Packet, now sim.Time)
+
+	net *Network
+}
+
+// NewNetwork builds a network around the given bottleneck link.
+func NewNetwork(sch *sim.Scheduler, link *Link) *Network {
+	n := &Network{Sch: sch, Link: link, flows: make(map[FlowID]*Attachment)}
+	link.Deliver = n.deliver
+	link.OnDrop = n.drop
+	return n
+}
+
+// BaseRTT returns the two-way propagation delay of a flow attachment.
+func (a *Attachment) BaseRTT() sim.Time { return a.FwdDelay + a.RevDelay }
+
+// Attach adds a flow with the given base RTT, split evenly between the
+// forward and reverse paths.
+func (n *Network) Attach(rtt sim.Time) *Attachment {
+	return n.AttachAsym(rtt/2, rtt-rtt/2)
+}
+
+// AttachAsym adds a flow with explicit one-way delays.
+func (n *Network) AttachAsym(fwd, rev sim.Time) *Attachment {
+	n.next++
+	a := &Attachment{ID: n.next, FwdDelay: fwd, RevDelay: rev, net: n}
+	n.flows[a.ID] = a
+	return a
+}
+
+// Detach removes a flow. In-flight packets of the flow are delivered to a
+// no-op receiver.
+func (n *Network) Detach(id FlowID) { delete(n.flows, id) }
+
+// Send injects a data packet from the flow's sender: after the forward
+// propagation delay it reaches the bottleneck queue.
+func (a *Attachment) Send(p *Packet) {
+	p.Flow = a.ID
+	p.SentAt = a.net.Sch.Now()
+	a.net.Sch.After(a.FwdDelay, func() { a.net.Link.Send(p) })
+}
+
+// SendAck schedules fn at the sender after the reverse propagation delay.
+// Transports use it to deliver ACK information; the reverse path is
+// uncongested per the paper's model.
+func (a *Attachment) SendAck(fn func(now sim.Time)) {
+	a.net.Sch.After(a.RevDelay, func() { fn(a.net.Sch.Now()) })
+}
+
+func (n *Network) deliver(p *Packet, now sim.Time) {
+	for _, f := range n.onDeliver {
+		f(p, now)
+	}
+	a, ok := n.flows[p.Flow]
+	if !ok || a.Receive == nil {
+		return
+	}
+	a.Receive(p, now)
+}
+
+func (n *Network) drop(p *Packet, now sim.Time) {
+	a, ok := n.flows[p.Flow]
+	if !ok || a.Dropped == nil {
+		return
+	}
+	a.Dropped(p, now)
+}
+
+// OnDeliver registers a tap invoked for every packet exiting the link
+// (before per-flow delivery). Experiments use it to measure aggregate
+// cross-traffic rates and per-packet queueing delay.
+func (n *Network) OnDeliver(f func(p *Packet, now sim.Time)) {
+	n.onDeliver = append(n.onDeliver, f)
+}
+
+// QueueDelayNow returns the current queueing delay implied by occupancy.
+func (n *Network) QueueDelayNow() sim.Time {
+	return sim.FromSeconds(float64(n.Link.Q.BytesQueued()) * 8 / n.Link.RateBps)
+}
+
+// String describes the network configuration.
+func (n *Network) String() string {
+	return fmt.Sprintf("bottleneck %.1f Mbit/s, %d flows", n.Link.RateBps/1e6, len(n.flows))
+}
+
+// Mbps converts bits/s to Mbit/s for reporting.
+func Mbps(bps float64) float64 { return bps / 1e6 }
+
+// BpsFromMbps converts Mbit/s to bits/s.
+func BpsFromMbps(m float64) float64 { return m * 1e6 }

@@ -1,0 +1,35 @@
+// Package netem emulates the paper's network model (Fig. 2): senders and
+// cross-traffic sources share a single bottleneck link of rate µ with a
+// finite buffer, and each flow has its own propagation delays. It is the
+// stand-in for the Mahimahi emulator used in the paper: a packet-level
+// discrete-event model with drop-tail, PIE and CoDel queues.
+package netem
+
+import "nimbus/internal/sim"
+
+// FlowID identifies a flow at the bottleneck.
+type FlowID uint32
+
+// Packet is a data packet traversing the bottleneck. ACKs are not modelled
+// as packets: the reverse path is uncongested (as in the paper's model), so
+// ACK delivery is a scheduled event with the flow's reverse propagation
+// delay.
+type Packet struct {
+	Flow FlowID
+	Seq  uint64
+	Size int // bytes, including headers
+
+	SentAt     sim.Time // when the sender emitted it
+	EnqueuedAt sim.Time // when it entered the bottleneck queue
+	QueueDelay sim.Time // time spent queued (excludes transmission), set at dequeue
+
+	// Raw marks cross-traffic packets injected without a transport
+	// (CBR/Poisson sources). They are counted at the receiver side but
+	// generate no ACKs.
+	Raw bool
+}
+
+// DefaultMSS is the segment size used throughout, matching a typical
+// 1500-byte Ethernet MTU minus headers plus our accounting convention: we
+// count 1500 bytes on the wire per full segment.
+const DefaultMSS = 1500

@@ -1,0 +1,136 @@
+package netem
+
+import (
+	"nimbus/internal/sim"
+)
+
+// PIE implements the Proportional Integral controller Enhanced AQM
+// (RFC 8033) used in the paper's AQM robustness experiments (§8.2,
+// App. E.2). The drop probability is updated every TUpdate from the
+// estimated queueing delay; packets are dropped probabilistically on
+// enqueue. A hard byte capacity still applies (tail drop beyond it).
+type PIE struct {
+	Target   sim.Time // target queueing delay
+	TUpdate  sim.Time // update interval
+	Alpha    float64  // proportional gain (per update, on delay in seconds)
+	Beta     float64  // derivative gain
+	Capacity int      // hard byte limit
+	RateBps  float64  // drain rate used for delay estimation
+	Burst    sim.Time // burst allowance
+
+	rng *sim.Rand
+	q   fifo
+
+	prob       float64
+	qdelayOld  sim.Time
+	lastUpdate sim.Time
+	burstLeft  sim.Time
+	Drops      uint64
+}
+
+// NewPIE returns a PIE queue with RFC 8033 default parameters.
+func NewPIE(capacityBytes int, rateBps float64, target sim.Time, rng *sim.Rand) *PIE {
+	return &PIE{
+		Target:    target,
+		TUpdate:   15 * sim.Millisecond,
+		Alpha:     0.125,
+		Beta:      1.25,
+		Capacity:  capacityBytes,
+		RateBps:   rateBps,
+		Burst:     150 * sim.Millisecond,
+		rng:       rng,
+		burstLeft: 150 * sim.Millisecond,
+	}
+}
+
+// qdelay estimates queueing delay from occupancy and drain rate.
+func (p *PIE) qdelay() sim.Time {
+	if p.RateBps <= 0 {
+		return 0
+	}
+	return sim.FromSeconds(float64(p.q.queued()) * 8 / p.RateBps)
+}
+
+// update recomputes the drop probability (lazily, from Enqueue).
+func (p *PIE) update(now sim.Time) {
+	for now-p.lastUpdate >= p.TUpdate {
+		p.lastUpdate += p.TUpdate
+		qd := p.qdelay()
+		dp := p.Alpha*(qd-p.Target).Seconds() + p.Beta*(qd-p.qdelayOld).Seconds()
+		// RFC 8033: scale the adjustment down when prob is small so the
+		// controller is stable near zero.
+		switch {
+		case p.prob < 0.000001:
+			dp /= 2048
+		case p.prob < 0.00001:
+			dp /= 512
+		case p.prob < 0.0001:
+			dp /= 128
+		case p.prob < 0.001:
+			dp /= 32
+		case p.prob < 0.01:
+			dp /= 8
+		case p.prob < 0.1:
+			dp /= 2
+		}
+		p.prob += dp
+		// Decay when the queue is idle.
+		if qd == 0 && p.qdelayOld == 0 {
+			p.prob *= 0.98
+		}
+		if p.prob < 0 {
+			p.prob = 0
+		}
+		if p.prob > 1 {
+			p.prob = 1
+		}
+		p.qdelayOld = qd
+		// Burst allowance countdown.
+		if p.burstLeft > 0 {
+			p.burstLeft -= p.TUpdate
+		}
+		if p.prob == 0 && qd < p.Target/2 && p.qdelayOld < p.Target/2 {
+			p.burstLeft = p.Burst
+		}
+	}
+}
+
+// Enqueue applies PIE's probabilistic drop, then the hard capacity.
+func (p *PIE) Enqueue(pkt *Packet, now sim.Time) bool {
+	if p.lastUpdate == 0 {
+		p.lastUpdate = now
+	}
+	p.update(now)
+	drop := false
+	if p.burstLeft <= 0 && p.prob > 0 {
+		// RFC 8033 safeguards: don't drop when the queue is tiny.
+		if p.qdelay() > p.Target/2 || p.q.queued() > 2*DefaultMSS {
+			drop = p.rng.Float64() < p.prob
+		}
+	}
+	if drop || p.q.queued()+pkt.Size > p.Capacity {
+		p.Drops++
+		return false
+	}
+	pkt.EnqueuedAt = now
+	p.q.push(pkt)
+	return true
+}
+
+// Dequeue removes the head packet.
+func (p *PIE) Dequeue(now sim.Time) *Packet {
+	pkt := p.q.pop()
+	if pkt != nil {
+		pkt.QueueDelay = now - pkt.EnqueuedAt
+	}
+	return pkt
+}
+
+// BytesQueued returns occupancy in bytes.
+func (p *PIE) BytesQueued() int { return p.q.queued() }
+
+// Len returns the number of queued packets.
+func (p *PIE) Len() int { return p.q.len() }
+
+// DropProb exposes the current drop probability (for tests).
+func (p *PIE) DropProb() float64 { return p.prob }

@@ -1,0 +1,104 @@
+package netem
+
+import "nimbus/internal/sim"
+
+// Queue is the buffering discipline at the bottleneck. Enqueue returns
+// false when the packet is dropped (tail drop or AQM drop). Dequeue
+// returns nil when empty.
+type Queue interface {
+	Enqueue(p *Packet, now sim.Time) bool
+	Dequeue(now sim.Time) *Packet
+	BytesQueued() int
+	Len() int
+}
+
+// fifo is the common FIFO storage used by all queue disciplines.
+type fifo struct {
+	pkts  []*Packet
+	head  int
+	bytes int
+}
+
+func (q *fifo) push(p *Packet) {
+	q.pkts = append(q.pkts, p)
+	q.bytes += p.Size
+}
+
+func (q *fifo) pop() *Packet {
+	if q.head >= len(q.pkts) {
+		return nil
+	}
+	p := q.pkts[q.head]
+	q.pkts[q.head] = nil
+	q.head++
+	q.bytes -= p.Size
+	// Compact occasionally so the slice does not grow without bound.
+	if q.head > 1024 && q.head*2 >= len(q.pkts) {
+		n := copy(q.pkts, q.pkts[q.head:])
+		q.pkts = q.pkts[:n]
+		q.head = 0
+	}
+	return p
+}
+
+func (q *fifo) len() int    { return len(q.pkts) - q.head }
+func (q *fifo) queued() int { return q.bytes }
+
+// DropTail is a FIFO queue with a fixed byte capacity.
+type DropTail struct {
+	Capacity int // bytes
+	q        fifo
+	Drops    uint64
+}
+
+// NewDropTail returns a drop-tail queue with the given byte capacity.
+func NewDropTail(capacityBytes int) *DropTail {
+	return &DropTail{Capacity: capacityBytes}
+}
+
+// Enqueue adds p unless the buffer would overflow.
+func (d *DropTail) Enqueue(p *Packet, now sim.Time) bool {
+	if d.q.queued()+p.Size > d.Capacity {
+		d.Drops++
+		return false
+	}
+	p.EnqueuedAt = now
+	d.q.push(p)
+	return true
+}
+
+// Dequeue removes and returns the head packet, recording its queueing delay.
+func (d *DropTail) Dequeue(now sim.Time) *Packet {
+	p := d.q.pop()
+	if p != nil {
+		p.QueueDelay = now - p.EnqueuedAt
+	}
+	return p
+}
+
+// BytesQueued returns the queue occupancy in bytes.
+func (d *DropTail) BytesQueued() int { return d.q.queued() }
+
+// BytesForFlow returns the bytes currently queued that belong to one
+// flow. O(queue length); used by experiments that decompose queueing
+// delay into self-inflicted and cross-traffic components (Fig. 3).
+func (d *DropTail) BytesForFlow(id FlowID) int {
+	total := 0
+	for i := d.q.head; i < len(d.q.pkts); i++ {
+		if d.q.pkts[i].Flow == id {
+			total += d.q.pkts[i].Size
+		}
+	}
+	return total
+}
+
+// Len returns the number of queued packets.
+func (d *DropTail) Len() int { return d.q.len() }
+
+// BufferBytesForDelay returns the buffer size in bytes corresponding to
+// "ms milliseconds of buffering" at rateBps (bits/s), the way the paper
+// specifies buffers (e.g. "100 ms buffering" on a 96 Mbit/s link = 2 BDP
+// at 50 ms RTT).
+func BufferBytesForDelay(rateBps float64, d sim.Time) int {
+	return int(rateBps / 8 * d.Seconds())
+}

@@ -1,0 +1,135 @@
+package sim
+
+import "container/heap"
+
+// Timer is a handle to a scheduled event. Cancelling a Timer prevents its
+// callback from running; cancelling an already-fired or already-cancelled
+// timer is a no-op.
+type Timer struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	fired     bool
+}
+
+// Cancel prevents the timer's callback from running.
+func (t *Timer) Cancel() {
+	if t != nil {
+		t.cancelled = true
+	}
+}
+
+// Fired reports whether the timer's callback has already run.
+func (t *Timer) Fired() bool { return t != nil && t.fired }
+
+// When returns the simulated time at which the timer fires.
+func (t *Timer) When() Time { return t.at }
+
+type eventHeap []*Timer
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq // FIFO among same-time events
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Timer)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Scheduler is a discrete-event scheduler. Events execute strictly in
+// timestamp order; events with equal timestamps execute in the order they
+// were scheduled. A Scheduler is not safe for concurrent use: the simulation
+// is single-threaded by design so results are deterministic.
+type Scheduler struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	stopped bool
+	// Executed counts events run, useful for progress reporting and tests.
+	Executed uint64
+}
+
+// NewScheduler returns a scheduler with the clock at time zero.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Now returns the current simulated time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is a
+// programming error and panics, because it would silently reorder causality.
+func (s *Scheduler) At(t Time, fn func()) *Timer {
+	if t < s.now {
+		panic("sim: scheduling event in the past")
+	}
+	s.seq++
+	ev := &Timer{at: t, seq: s.seq, fn: fn}
+	heap.Push(&s.events, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current time.
+func (s *Scheduler) After(d Time, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Pending returns the number of events currently queued (including
+// cancelled events not yet discarded).
+func (s *Scheduler) Pending() int { return len(s.events) }
+
+// Stop halts Run/RunUntil after the current event completes.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// step runs the earliest event. It returns false when no events remain.
+func (s *Scheduler) step() bool {
+	for len(s.events) > 0 {
+		ev := heap.Pop(&s.events).(*Timer)
+		if ev.cancelled {
+			continue
+		}
+		s.now = ev.at
+		ev.fired = true
+		s.Executed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until none remain or Stop is called.
+func (s *Scheduler) Run() {
+	s.stopped = false
+	for !s.stopped && s.step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= end, then sets the clock to
+// end. Events scheduled beyond end remain queued.
+func (s *Scheduler) RunUntil(end Time) {
+	s.stopped = false
+	for !s.stopped {
+		// Peek at the earliest non-cancelled event.
+		for len(s.events) > 0 && s.events[0].cancelled {
+			heap.Pop(&s.events)
+		}
+		if len(s.events) == 0 || s.events[0].at > end {
+			break
+		}
+		s.step()
+	}
+	if s.now < end {
+		s.now = end
+	}
+}

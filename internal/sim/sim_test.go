@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if got := (1500 * Millisecond).Seconds(); got != 1.5 {
+		t.Fatalf("Seconds: got %v, want 1.5", got)
+	}
+	if got := FromSeconds(0.25); got != 250*Millisecond {
+		t.Fatalf("FromSeconds: got %v, want 250ms", got)
+	}
+	if got := (2 * Millisecond).Millis(); got != 2 {
+		t.Fatalf("Millis: got %v, want 2", got)
+	}
+	if s := (12340 * Millisecond).String(); s != "12.340s" {
+		t.Fatalf("String: got %q", s)
+	}
+}
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	s.At(30*Millisecond, func() { order = append(order, 3) })
+	s.At(10*Millisecond, func() { order = append(order, 1) })
+	s.At(20*Millisecond, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events out of order: %v", order)
+	}
+	if s.Now() != 30*Millisecond {
+		t.Fatalf("clock = %v, want 30ms", s.Now())
+	}
+}
+
+func TestSchedulerFIFOAtSameTime(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(Millisecond, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestSchedulerCancel(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	tm := s.At(Millisecond, func() { fired = true })
+	tm.Cancel()
+	s.Run()
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+	if tm.Fired() {
+		t.Fatal("Fired() true for cancelled timer")
+	}
+}
+
+func TestSchedulerNestedScheduling(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			s.After(10*Millisecond, tick)
+		}
+	}
+	s.After(0, tick)
+	s.Run()
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if s.Now() != 40*Millisecond {
+		t.Fatalf("clock = %v, want 40ms", s.Now())
+	}
+}
+
+func TestSchedulerRunUntil(t *testing.T) {
+	s := NewScheduler()
+	var fired []Time
+	for _, d := range []Time{10, 20, 30, 40} {
+		d := d * Millisecond
+		s.At(d, func() { fired = append(fired, d) })
+	}
+	s.RunUntil(25 * Millisecond)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if s.Now() != 25*Millisecond {
+		t.Fatalf("clock = %v, want 25ms", s.Now())
+	}
+	s.RunUntil(100 * Millisecond)
+	if len(fired) != 4 {
+		t.Fatalf("fired %d events total, want 4", len(fired))
+	}
+}
+
+func TestSchedulerPastPanics(t *testing.T) {
+	s := NewScheduler()
+	s.At(10*Millisecond, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	s.At(5*Millisecond, func() {})
+}
+
+func TestSchedulerStop(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count == 3 {
+			s.Stop()
+		}
+		s.After(Millisecond, tick)
+	}
+	s.After(0, tick)
+	s.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3 (Stop should halt)", count)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := NewRand(43)
+	same := true
+	a2 := NewRand(42)
+	for i := 0; i < 10; i++ {
+		if a2.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRandSplitIndependence(t *testing.T) {
+	r := NewRand(7)
+	s1 := r.Split("a")
+	r2 := NewRand(7)
+	s2 := r2.Split("a")
+	if s1.Float64() != s2.Float64() {
+		t.Fatal("Split not deterministic for same label/parent state")
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRand(1)
+	var sum float64
+	n := 200000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(5)
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-5) > 0.1 {
+		t.Fatalf("exponential mean = %v, want ~5", mean)
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	r := NewRand(2)
+	f := func(u uint8) bool {
+		x := r.Pareto(100, 1.5)
+		return x >= 100
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpTimeNonNegative(t *testing.T) {
+	r := NewRand(3)
+	for i := 0; i < 1000; i++ {
+		if d := r.ExpTime(10 * Millisecond); d < 0 {
+			t.Fatal("negative ExpTime")
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package stats provides the small statistical toolbox the experiments
+// need: running moments, percentiles and CDFs, exponentially weighted
+// moving averages, windowed extrema, and histograms. Everything is
+// allocation-conscious but favours clarity; the simulator is the hot path,
+// not the statistics.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Welford accumulates mean and variance in a single pass.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates a sample.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of samples seen.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 for no samples).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance (0 for fewer than 2 samples).
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Percentile returns the p-quantile (p in [0,1]) of xs using linear
+// interpolation between order statistics. It returns NaN for empty input.
+// The input slice is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	return percentileSorted(cp, p)
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Percentile(xs, 0.5) }
+
+// Summary bundles the usual reporting quantiles of a sample.
+type Summary struct {
+	N                  int
+	Mean, Std          float64
+	Min, P10, P25, P50 float64
+	P75, P90, P95, P99 float64
+	Max                float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.N = len(xs)
+	if s.N == 0 {
+		nan := math.NaN()
+		return Summary{Mean: nan, Std: nan, Min: nan, P10: nan, P25: nan,
+			P50: nan, P75: nan, P90: nan, P95: nan, P99: nan, Max: nan}
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	var w Welford
+	for _, x := range cp {
+		w.Add(x)
+	}
+	s.Mean, s.Std = w.Mean(), w.Std()
+	s.Min, s.Max = cp[0], cp[len(cp)-1]
+	s.P10 = percentileSorted(cp, 0.10)
+	s.P25 = percentileSorted(cp, 0.25)
+	s.P50 = percentileSorted(cp, 0.50)
+	s.P75 = percentileSorted(cp, 0.75)
+	s.P90 = percentileSorted(cp, 0.90)
+	s.P95 = percentileSorted(cp, 0.95)
+	s.P99 = percentileSorted(cp, 0.99)
+	return s
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	X float64 // sample value
+	P float64 // cumulative probability in (0,1]
+}
+
+// CDF returns the empirical CDF of xs, downsampled to at most maxPoints
+// evenly spaced points (by rank). maxPoints <= 0 means no downsampling.
+func CDF(xs []float64, maxPoints int) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	step := 1
+	if maxPoints > 0 && n > maxPoints {
+		step = n / maxPoints
+	}
+	out := make([]CDFPoint, 0, n/step+1)
+	for i := 0; i < n; i += step {
+		out = append(out, CDFPoint{X: cp[i], P: float64(i+1) / float64(n)})
+	}
+	if out[len(out)-1].P != 1 {
+		out = append(out, CDFPoint{X: cp[n-1], P: 1})
+	}
+	return out
+}
+
+// EWMA is an exponentially weighted moving average with a fixed smoothing
+// factor per sample. The zero value is ready to use: the first sample
+// initializes the average.
+type EWMA struct {
+	Alpha float64 // weight of the new sample, in (0,1]
+	val   float64
+	init  bool
+}
+
+// NewEWMA returns an EWMA with the given per-sample weight.
+func NewEWMA(alpha float64) *EWMA { return &EWMA{Alpha: alpha} }
+
+// AlphaForCutoff returns the EWMA weight that implements a single-pole
+// low-pass filter with cutoff frequency fc (Hz) when sampled every dt
+// seconds: alpha = dt / (dt + 1/(2*pi*fc)).
+func AlphaForCutoff(fc, dt float64) float64 {
+	rc := 1 / (2 * math.Pi * fc)
+	return dt / (dt + rc)
+}
+
+// Add incorporates a sample and returns the new average.
+func (e *EWMA) Add(x float64) float64 {
+	if !e.init {
+		e.val, e.init = x, true
+		return x
+	}
+	e.val += e.Alpha * (x - e.val)
+	return e.val
+}
+
+// Value returns the current average (0 before any sample).
+func (e *EWMA) Value() float64 { return e.val }
+
+// Initialized reports whether at least one sample has been added.
+func (e *EWMA) Initialized() bool { return e.init }
+
+// Reset clears the average.
+func (e *EWMA) Reset() { e.val, e.init = 0, false }

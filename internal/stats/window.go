@@ -1,0 +1,160 @@
+package stats
+
+// WindowedMax tracks the maximum of a value over a sliding window of
+// "time" (any monotonically nondecreasing int64 key, typically sim.Time).
+// It is the standard monotonic-deque construction: amortized O(1) per
+// sample. Used for BBR-style max-bandwidth filters and µ estimation.
+type WindowedMax struct {
+	Window int64 // width of the window in key units
+	keys   []int64
+	vals   []float64
+}
+
+// NewWindowedMax returns a filter over the given window width.
+func NewWindowedMax(window int64) *WindowedMax {
+	return &WindowedMax{Window: window}
+}
+
+// Add inserts a sample at key t. Keys must be nondecreasing.
+func (w *WindowedMax) Add(t int64, v float64) {
+	// Drop samples dominated by the new one.
+	for len(w.vals) > 0 && w.vals[len(w.vals)-1] <= v {
+		w.vals = w.vals[:len(w.vals)-1]
+		w.keys = w.keys[:len(w.keys)-1]
+	}
+	w.keys = append(w.keys, t)
+	w.vals = append(w.vals, v)
+	w.expire(t)
+}
+
+func (w *WindowedMax) expire(t int64) {
+	cut := t - w.Window
+	i := 0
+	for i < len(w.keys)-1 && w.keys[i] < cut {
+		i++
+	}
+	if i > 0 {
+		w.keys = w.keys[i:]
+		w.vals = w.vals[i:]
+	}
+}
+
+// Max returns the maximum over the window ending at the latest Add (0 if
+// no samples).
+func (w *WindowedMax) Max() float64 {
+	if len(w.vals) == 0 {
+		return 0
+	}
+	return w.vals[0]
+}
+
+// Empty reports whether the filter holds no samples.
+func (w *WindowedMax) Empty() bool { return len(w.vals) == 0 }
+
+// WindowedMin is the mirror image of WindowedMax.
+type WindowedMin struct {
+	Window int64
+	keys   []int64
+	vals   []float64
+}
+
+// NewWindowedMin returns a min filter over the given window width.
+func NewWindowedMin(window int64) *WindowedMin {
+	return &WindowedMin{Window: window}
+}
+
+// Add inserts a sample at key t. Keys must be nondecreasing.
+func (w *WindowedMin) Add(t int64, v float64) {
+	for len(w.vals) > 0 && w.vals[len(w.vals)-1] >= v {
+		w.vals = w.vals[:len(w.vals)-1]
+		w.keys = w.keys[:len(w.keys)-1]
+	}
+	w.keys = append(w.keys, t)
+	w.vals = append(w.vals, v)
+	cut := t - w.Window
+	i := 0
+	for i < len(w.keys)-1 && w.keys[i] < cut {
+		i++
+	}
+	if i > 0 {
+		w.keys = w.keys[i:]
+		w.vals = w.vals[i:]
+	}
+}
+
+// Min returns the minimum over the window (0 if no samples).
+func (w *WindowedMin) Min() float64 {
+	if len(w.vals) == 0 {
+		return 0
+	}
+	return w.vals[0]
+}
+
+// Empty reports whether the filter holds no samples.
+func (w *WindowedMin) Empty() bool { return len(w.vals) == 0 }
+
+// Ring is a fixed-capacity ring buffer of float64 samples with O(1)
+// append; it retains the most recent Cap samples. Used for the detector's
+// z-history and Nimbus's rate history.
+type Ring struct {
+	buf  []float64
+	next int
+	full bool
+}
+
+// NewRing returns a ring holding up to n samples.
+func NewRing(n int) *Ring { return &Ring{buf: make([]float64, n)} }
+
+// Push appends a sample, evicting the oldest when full.
+func (r *Ring) Push(v float64) {
+	r.buf[r.next] = v
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Len returns the number of samples currently held.
+func (r *Ring) Len() int {
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Cap returns the ring capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Full reports whether the ring holds Cap samples.
+func (r *Ring) Full() bool { return r.full }
+
+// Snapshot copies the samples oldest-first into dst (allocating if dst is
+// too small) and returns the slice.
+func (r *Ring) Snapshot(dst []float64) []float64 {
+	n := r.Len()
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	if !r.full {
+		copy(dst, r.buf[:r.next])
+		return dst
+	}
+	k := copy(dst, r.buf[r.next:])
+	copy(dst[k:], r.buf[:r.next])
+	return dst
+}
+
+// At returns the i-th most recent sample (At(0) is the newest). It panics
+// if i >= Len.
+func (r *Ring) At(i int) float64 {
+	if i >= r.Len() {
+		panic("stats: Ring.At out of range")
+	}
+	idx := r.next - 1 - i
+	if idx < 0 {
+		idx += len(r.buf)
+	}
+	return r.buf[idx]
+}

@@ -1,0 +1,351 @@
+package transport
+
+import (
+	"nimbus/internal/netem"
+	"nimbus/internal/sim"
+)
+
+// Timing constants for the retransmission timer, mirroring common TCP
+// practice (RFC 6298, with a floor suited to simulated WAN RTTs).
+const (
+	minRTO    = 200 * sim.Millisecond
+	maxRTO    = 4 * sim.Second
+	dupThresh = 3 // dup-ACK threshold for loss declaration
+)
+
+type pktRec struct {
+	seq    uint64
+	size   int
+	sentAt sim.Time
+	acked  bool
+	lost   bool
+	dup    int
+}
+
+// Sender is a transport endpoint: it emits MSS-sized packets subject to
+// the controller's window and pacing rate, tracks ACKs, declares losses
+// via dup-ACK counting and an RTO, and reports everything to the
+// controller. The receiver side is folded in: delivered packets generate
+// ACK events on the uncongested reverse path.
+type Sender struct {
+	env  Env
+	att  *netem.Attachment
+	cc   Controller
+	app  Source
+	mss  int
+	name string
+
+	nextSeq  uint64
+	inflight int
+	unacked  []*pktRec
+	head     int
+
+	srtt, rttvar sim.Time
+	rto          sim.Time
+	rtoTimer     *sim.Timer
+	rtoBackoff   int
+
+	paceTimer  *sim.Timer
+	nextSendAt sim.Time
+
+	stopped bool
+
+	// Counters and hooks.
+	SentBytes      uint64
+	DeliveredBytes uint64
+	LostPackets    uint64
+	Timeouts       uint64
+	// OnAckHook, if set, observes every AckInfo (metrics).
+	OnAckHook func(a AckInfo)
+	// OnDeliverHook, if set, observes every delivered packet at the
+	// receiver (metrics: per-packet queueing delay, throughput).
+	OnDeliverHook func(p *netem.Packet, now sim.Time)
+}
+
+// NewSender attaches a flow with the given controller and source to the
+// network with base RTT rtt. The flow does not transmit until Start.
+func NewSender(net *netem.Network, rtt sim.Time, cc Controller, app Source, rng *sim.Rand) *Sender {
+	att := net.Attach(rtt)
+	s := &Sender{
+		att: att,
+		cc:  cc,
+		app: app,
+		mss: netem.DefaultMSS,
+		rto: 1 * sim.Second,
+	}
+	s.env = Env{Sch: net.Sch, Rand: rng, MSS: s.mss, ID: att.ID, Sender: s}
+	att.Receive = s.onDeliver
+	if ch, ok := app.(*ChunkSource); ok {
+		ch.Wake = s.Wake
+	}
+	return s
+}
+
+// ID returns the flow's identifier at the bottleneck.
+func (s *Sender) ID() netem.FlowID { return s.att.ID }
+
+// MSS returns the segment size.
+func (s *Sender) MSS() int { return s.mss }
+
+// SRTT returns the smoothed RTT estimate (0 before any sample).
+func (s *Sender) SRTT() sim.Time { return s.srtt }
+
+// BaseRTT returns the flow's two-way propagation delay.
+func (s *Sender) BaseRTT() sim.Time { return s.att.BaseRTT() }
+
+// Inflight returns bytes currently in flight.
+func (s *Sender) Inflight() int { return s.inflight }
+
+// Attachment exposes the flow's network attachment (for experiments).
+func (s *Sender) Attachment() *netem.Attachment { return s.att }
+
+// Start initializes the controller and begins transmission at time start.
+func (s *Sender) Start(start sim.Time) {
+	s.cc.Init(&s.env)
+	s.env.Sch.At(start, func() { s.trySend() })
+}
+
+// Stop halts transmission and cancels timers. In-flight packets drain but
+// their ACKs are ignored.
+func (s *Sender) Stop() {
+	s.stopped = true
+	s.rtoTimer.Cancel()
+	s.paceTimer.Cancel()
+	s.att.Receive = nil
+}
+
+// Wake restarts transmission after the application adds data.
+func (s *Sender) Wake() {
+	if !s.stopped {
+		s.trySend()
+	}
+}
+
+// trySend transmits as many packets as the window, pacing rate, and
+// application allow, then arms the pacing timer if pacing-limited.
+func (s *Sender) trySend() {
+	if s.stopped {
+		return
+	}
+	for {
+		tr := s.cc.Control()
+		// Window check; always allow at least one packet in flight so a
+		// sub-MSS window cannot deadlock the flow.
+		if tr.CwndBytes > 0 && s.inflight > 0 && s.inflight+s.mss > tr.CwndBytes {
+			return // window-limited; ACKs will re-trigger
+		}
+		avail := s.app.Available(s.env.Sch.Now())
+		if avail <= 0 {
+			return // app-limited; Wake will re-trigger
+		}
+		if tr.PaceBps > 0 {
+			now := s.env.Sch.Now()
+			if s.nextSendAt > now {
+				s.armPace(s.nextSendAt)
+				return
+			}
+			size := s.mss
+			if avail < size {
+				size = avail
+			}
+			s.emit(size)
+			gap := sim.FromSeconds(float64(size*8) / tr.PaceBps)
+			if s.nextSendAt < now {
+				s.nextSendAt = now
+			}
+			s.nextSendAt += gap
+		} else {
+			size := s.mss
+			if avail < size {
+				size = avail
+			}
+			s.emit(size)
+		}
+	}
+}
+
+func (s *Sender) emit(size int) {
+	now := s.env.Sch.Now()
+	p := &netem.Packet{Seq: s.nextSeq, Size: size}
+	s.nextSeq++
+	s.unacked = append(s.unacked, &pktRec{seq: p.Seq, size: size, sentAt: now})
+	s.inflight += size
+	s.SentBytes += uint64(size)
+	s.app.Consume(size)
+	s.att.Send(p)
+	if s.rtoTimer == nil || s.rtoTimer.Fired() {
+		s.armRTO()
+	}
+}
+
+func (s *Sender) armPace(at sim.Time) {
+	if s.paceTimer != nil && !s.paceTimer.Fired() && s.paceTimer.When() <= at {
+		return
+	}
+	s.paceTimer.Cancel()
+	s.paceTimer = s.env.Sch.At(at, func() { s.trySend() })
+}
+
+// KickPacing clears any pending pacing gap so a rate increase takes
+// effect immediately (used by rate-based controllers after large jumps).
+func (s *Sender) KickPacing() {
+	now := s.env.Sch.Now()
+	if s.nextSendAt > now {
+		s.nextSendAt = now
+		s.trySend()
+	}
+}
+
+func (s *Sender) armRTO() {
+	s.rtoTimer.Cancel()
+	d := s.rto << uint(s.rtoBackoff)
+	if d > maxRTO {
+		d = maxRTO
+	}
+	s.rtoTimer = s.env.Sch.After(d, s.onRTO)
+}
+
+func (s *Sender) onRTO() {
+	if s.stopped || s.inflight == 0 {
+		return
+	}
+	s.Timeouts++
+	s.rtoBackoff++
+	now := s.env.Sch.Now()
+	// Declare everything outstanding lost, refund, notify once.
+	lostBytes := 0
+	for i := s.head; i < len(s.unacked); i++ {
+		r := s.unacked[i]
+		if !r.acked && !r.lost {
+			r.lost = true
+			lostBytes += r.size
+			s.LostPackets++
+		}
+	}
+	s.compact()
+	s.inflight = 0
+	s.app.Refund(lostBytes)
+	s.cc.OnLoss(LossInfo{Now: now, Bytes: lostBytes, Timeout: true, Inflight: 0})
+	s.armRTO()
+	s.trySend()
+}
+
+// onDeliver runs at the receiver when a data packet exits the bottleneck.
+func (s *Sender) onDeliver(p *netem.Packet, now sim.Time) {
+	if s.stopped {
+		return
+	}
+	s.DeliveredBytes += uint64(p.Size)
+	s.app.Delivered(p.Size, now)
+	if s.OnDeliverHook != nil {
+		s.OnDeliverHook(p, now)
+	}
+	delivered := s.DeliveredBytes
+	qd := p.QueueDelay
+	seq, size, sentAt := p.Seq, p.Size, p.SentAt
+	s.att.SendAck(func(ackNow sim.Time) {
+		s.handleAck(seq, size, sentAt, qd, delivered, ackNow)
+	})
+}
+
+func (s *Sender) handleAck(seq uint64, size int, sentAt, qd sim.Time, delivered uint64, now sim.Time) {
+	if s.stopped {
+		return
+	}
+	rtt := now - sentAt
+	s.updateRTT(rtt)
+	s.rtoBackoff = 0
+
+	var losses []*pktRec
+	found := false
+	for i := s.head; i < len(s.unacked); i++ {
+		r := s.unacked[i]
+		if r.seq > seq {
+			break
+		}
+		if r.seq == seq {
+			if !r.acked && !r.lost {
+				r.acked = true
+				s.inflight -= r.size
+			}
+			// A lost-then-acked packet was a spurious declaration; the
+			// refunded bytes are simply sent again, which is harmless
+			// for throughput accounting.
+			found = true
+			break
+		}
+		if !r.acked && !r.lost {
+			r.dup++
+			if r.dup >= dupThresh {
+				r.lost = true
+				s.inflight -= r.size
+				s.LostPackets++
+				losses = append(losses, r)
+			}
+		}
+	}
+	_ = found
+	s.compact()
+
+	for _, r := range losses {
+		s.app.Refund(r.size)
+		s.cc.OnLoss(LossInfo{Seq: r.seq, Bytes: r.size, Now: now, Inflight: s.inflight})
+	}
+	ai := AckInfo{
+		Seq:        seq,
+		Bytes:      size,
+		SentAt:     sentAt,
+		AckedAt:    now,
+		RTT:        rtt,
+		QueueDelay: qd,
+		Inflight:   s.inflight,
+		Delivered:  delivered,
+	}
+	s.cc.OnAck(ai)
+	if s.OnAckHook != nil {
+		s.OnAckHook(ai)
+	}
+	if s.inflight > 0 {
+		s.armRTO()
+	} else {
+		s.rtoTimer.Cancel()
+	}
+	s.trySend()
+}
+
+func (s *Sender) updateRTT(rtt sim.Time) {
+	if s.srtt == 0 {
+		s.srtt = rtt
+		s.rttvar = rtt / 2
+	} else {
+		d := s.srtt - rtt
+		if d < 0 {
+			d = -d
+		}
+		s.rttvar += (d - s.rttvar) / 4
+		s.srtt += (rtt - s.srtt) / 8
+	}
+	s.rto = s.srtt + 4*s.rttvar
+	if s.rto < minRTO {
+		s.rto = minRTO
+	}
+	if s.rto > maxRTO {
+		s.rto = maxRTO
+	}
+}
+
+func (s *Sender) compact() {
+	for s.head < len(s.unacked) {
+		r := s.unacked[s.head]
+		if !r.acked && !r.lost {
+			break
+		}
+		s.unacked[s.head] = nil
+		s.head++
+	}
+	if s.head > 4096 && s.head*2 >= len(s.unacked) {
+		n := copy(s.unacked, s.unacked[s.head:])
+		s.unacked = s.unacked[:n]
+		s.head = 0
+	}
+}

@@ -1,0 +1,258 @@
+package transport
+
+import (
+	"testing"
+
+	"nimbus/internal/netem"
+	"nimbus/internal/sim"
+)
+
+// fixedCC is a minimal window controller for transport-mechanics tests.
+type fixedCC struct {
+	cwnd int
+	pace float64
+
+	acks     int
+	losses   int
+	timeouts int
+	rtts     []sim.Time
+}
+
+func (f *fixedCC) Init(env *Env) {}
+func (f *fixedCC) OnAck(a AckInfo) {
+	f.acks++
+	f.rtts = append(f.rtts, a.RTT)
+}
+func (f *fixedCC) OnLoss(l LossInfo) {
+	f.losses++
+	if l.Timeout {
+		f.timeouts++
+	}
+}
+func (f *fixedCC) Control() Transmission {
+	return Transmission{CwndBytes: f.cwnd, PaceBps: f.pace}
+}
+
+type env struct {
+	sch  *sim.Scheduler
+	link *netem.Link
+	net  *netem.Network
+}
+
+func newEnv(rateMbps float64, bufMs sim.Time) *env {
+	sch := sim.NewScheduler()
+	rate := rateMbps * 1e6
+	link := netem.NewLink(sch, rate, netem.NewDropTail(netem.BufferBytesForDelay(rate, bufMs)))
+	return &env{sch: sch, link: link, net: netem.NewNetwork(sch, link)}
+}
+
+func TestWindowLimitedThroughput(t *testing.T) {
+	// With cwnd = BDP, a window flow should achieve exactly the link rate
+	// after the first RTT.
+	e := newEnv(48, 100*sim.Millisecond)
+	rtt := 50 * sim.Millisecond
+	bdp := int(48e6 / 8 * rtt.Seconds()) // 300 kB
+	cc := &fixedCC{cwnd: bdp}
+	s := NewSender(e.net, rtt, cc, Backlogged{}, sim.NewRand(1))
+	s.Start(0)
+	e.sch.RunUntil(10 * sim.Second)
+	gotMbps := float64(s.DeliveredBytes) * 8 / 10 / 1e6
+	if gotMbps < 44 || gotMbps > 48.5 {
+		t.Fatalf("throughput = %.1f Mbit/s, want ~48", gotMbps)
+	}
+	if s.LostPackets != 0 {
+		t.Fatalf("unexpected losses: %d", s.LostPackets)
+	}
+}
+
+func TestRTTMeasurement(t *testing.T) {
+	e := newEnv(96, 100*sim.Millisecond)
+	rtt := 80 * sim.Millisecond
+	cc := &fixedCC{cwnd: 2 * 1500}
+	s := NewSender(e.net, rtt, cc, Backlogged{}, sim.NewRand(1))
+	s.Start(0)
+	e.sch.RunUntil(2 * sim.Second)
+	if len(cc.rtts) == 0 {
+		t.Fatal("no RTT samples")
+	}
+	tx := e.link.TxTime(1500)
+	min := cc.rtts[0]
+	for _, r := range cc.rtts {
+		if r < min {
+			min = r
+		}
+	}
+	if min < rtt+tx || min > rtt+2*tx+sim.Millisecond {
+		t.Fatalf("min RTT = %v, want ~%v", min, rtt+tx)
+	}
+	if s.SRTT() < rtt {
+		t.Fatalf("srtt = %v below base", s.SRTT())
+	}
+}
+
+func TestPacingRate(t *testing.T) {
+	// Pure pacing at 10 Mbit/s on an idle 100 Mbit/s link: delivery must
+	// match the pacing rate, not the link rate.
+	e := newEnv(100, 100*sim.Millisecond)
+	cc := &fixedCC{cwnd: 1 << 24, pace: 10e6}
+	s := NewSender(e.net, 40*sim.Millisecond, cc, Backlogged{}, sim.NewRand(1))
+	s.Start(0)
+	e.sch.RunUntil(10 * sim.Second)
+	gotMbps := float64(s.DeliveredBytes) * 8 / 10 / 1e6
+	if gotMbps < 9.5 || gotMbps > 10.5 {
+		t.Fatalf("paced throughput = %.2f, want ~10", gotMbps)
+	}
+}
+
+func TestDupAckLossDetection(t *testing.T) {
+	// Overdrive a small buffer: drops must be detected and reported.
+	e := newEnv(10, 20*sim.Millisecond)
+	cc := &fixedCC{cwnd: 1 << 22} // far beyond BDP+buffer
+	s := NewSender(e.net, 40*sim.Millisecond, cc, Backlogged{}, sim.NewRand(1))
+	s.Start(0)
+	e.sch.RunUntil(5 * sim.Second)
+	if cc.losses == 0 {
+		t.Fatal("no losses detected despite overdriven buffer")
+	}
+	if s.LostPackets == 0 {
+		t.Fatal("sender loss counter zero")
+	}
+}
+
+func TestInflightConservation(t *testing.T) {
+	e := newEnv(10, 20*sim.Millisecond)
+	cc := &fixedCC{cwnd: 64 * 1500}
+	s := NewSender(e.net, 40*sim.Millisecond, cc, Backlogged{}, sim.NewRand(1))
+	s.Start(0)
+	for tEnd := sim.Second; tEnd <= 5*sim.Second; tEnd += sim.Second {
+		e.sch.RunUntil(tEnd)
+		if s.Inflight() < 0 {
+			t.Fatalf("negative inflight: %d", s.Inflight())
+		}
+		if s.Inflight() > cc.cwnd+1500 {
+			t.Fatalf("inflight %d exceeds window %d", s.Inflight(), cc.cwnd)
+		}
+	}
+}
+
+func TestFiniteFlowCompletes(t *testing.T) {
+	e := newEnv(48, 100*sim.Millisecond)
+	var fct sim.Time
+	src := NewFiniteFlow(150000, func(now sim.Time) { fct = now })
+	cc := &fixedCC{cwnd: 20 * 1500}
+	s := NewSender(e.net, 50*sim.Millisecond, cc, src, sim.NewRand(1))
+	s.Start(0)
+	e.sch.RunUntil(10 * sim.Second)
+	if !src.Done() {
+		t.Fatal("flow did not complete")
+	}
+	// 150 kB = 100 pkts, window 20: ~5 RTTs plus change.
+	if fct < 100*sim.Millisecond || fct > 2*sim.Second {
+		t.Fatalf("fct = %v", fct)
+	}
+	if src.DeliveredBytes() < 150000 {
+		t.Fatalf("delivered %d < size", src.DeliveredBytes())
+	}
+}
+
+func TestFiniteFlowCompletesDespiteLosses(t *testing.T) {
+	// Tiny buffer forces drops; the refund mechanism must still deliver
+	// all bytes.
+	e := newEnv(5, 10*sim.Millisecond)
+	var done bool
+	src := NewFiniteFlow(400000, func(now sim.Time) { done = true })
+	cc := &fixedCC{cwnd: 80 * 1500}
+	s := NewSender(e.net, 30*sim.Millisecond, cc, src, sim.NewRand(1))
+	s.Start(0)
+	e.sch.RunUntil(30 * sim.Second)
+	if s.LostPackets == 0 {
+		t.Fatal("test needs losses to be meaningful")
+	}
+	if !done {
+		t.Fatalf("flow did not complete despite refunds (delivered %d)", src.DeliveredBytes())
+	}
+}
+
+func TestRTOFiresWhenEverythingDrops(t *testing.T) {
+	// Buffer of one packet and a burst: most of the window drops; without
+	// enough dup-ACKs the RTO must recover the flow.
+	sch := sim.NewScheduler()
+	rate := 1e6
+	link := netem.NewLink(sch, rate, netem.NewDropTail(3000))
+	net := netem.NewNetwork(sch, link)
+	cc := &fixedCC{cwnd: 40 * 1500}
+	s := NewSender(net, 20*sim.Millisecond, cc, Backlogged{}, sim.NewRand(1))
+	s.Start(0)
+	sch.RunUntil(10 * sim.Second)
+	if s.Timeouts == 0 && cc.losses == 0 {
+		t.Fatal("no loss signal of any kind")
+	}
+	if s.DeliveredBytes == 0 {
+		t.Fatal("flow made no progress")
+	}
+}
+
+func TestStopHaltsTransmission(t *testing.T) {
+	e := newEnv(48, 100*sim.Millisecond)
+	cc := &fixedCC{cwnd: 100 * 1500}
+	s := NewSender(e.net, 50*sim.Millisecond, cc, Backlogged{}, sim.NewRand(1))
+	s.Start(0)
+	e.sch.RunUntil(sim.Second)
+	sent := s.SentBytes
+	s.Stop()
+	e.sch.RunUntil(3 * sim.Second)
+	if s.SentBytes != sent {
+		t.Fatal("sender kept transmitting after Stop")
+	}
+}
+
+func TestChunkSourceWake(t *testing.T) {
+	e := newEnv(48, 100*sim.Millisecond)
+	cc := &fixedCC{cwnd: 100 * 1500}
+	src := &ChunkSource{}
+	chunks := 0
+	src.OnChunkDone = func(now sim.Time) { chunks++ }
+	s := NewSender(e.net, 50*sim.Millisecond, cc, src, sim.NewRand(1))
+	s.Start(0)
+	e.sch.RunUntil(100 * sim.Millisecond) // idle: no data yet
+	if s.SentBytes != 0 {
+		t.Fatal("sent without app data")
+	}
+	src.AddChunk(30000)
+	e.sch.RunUntil(2 * sim.Second)
+	if chunks != 1 {
+		t.Fatalf("chunk completions = %d, want 1", chunks)
+	}
+	// Second chunk after idle period must also transmit (Wake path).
+	src.AddChunk(30000)
+	e.sch.RunUntil(4 * sim.Second)
+	if chunks != 2 {
+		t.Fatalf("chunk completions = %d, want 2", chunks)
+	}
+}
+
+func TestAckInfoFields(t *testing.T) {
+	e := newEnv(96, 100*sim.Millisecond)
+	var got []AckInfo
+	cc := &fixedCC{cwnd: 4 * 1500}
+	s := NewSender(e.net, 60*sim.Millisecond, cc, Backlogged{}, sim.NewRand(1))
+	s.OnAckHook = func(a AckInfo) { got = append(got, a) }
+	s.Start(0)
+	e.sch.RunUntil(sim.Second)
+	if len(got) < 10 {
+		t.Fatalf("too few acks: %d", len(got))
+	}
+	var lastDel uint64
+	for _, a := range got {
+		if a.RTT != a.AckedAt-a.SentAt {
+			t.Fatal("RTT inconsistent with timestamps")
+		}
+		if a.Delivered < lastDel {
+			t.Fatal("Delivered went backwards")
+		}
+		lastDel = a.Delivered
+		if a.Bytes <= 0 || a.QueueDelay < 0 {
+			t.Fatalf("bad ack: %+v", a)
+		}
+	}
+}

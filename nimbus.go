@@ -1,0 +1,144 @@
+// Package nimbus is the public facade of this repository: a faithful
+// reproduction of "Elasticity Detection: A Building Block for Internet
+// Congestion Control" (Goyal et al.), comprising the elasticity detector,
+// the Nimbus mode-switching congestion controller, every congestion
+// control baseline the paper evaluates, a packet-level discrete-event
+// network emulator, the paper's cross-traffic workloads, and a harness
+// that regenerates every table and figure (see DESIGN.md).
+//
+// The exported names here are aliases for the implementation packages
+// under internal/, so downstream users get one import:
+//
+//	det := nimbus.NewDetector(nimbus.DefaultDetectorConfig())
+//	ctrl := nimbus.New(nimbus.Config{Mu: nimbus.Oracle{Rate: 96e6}, Competitive: nimbus.NewCubic()})
+//
+// For ready-made experiment scenarios, see RunExperiment and cmd/.
+package nimbus
+
+import (
+	"nimbus/internal/cc"
+	"nimbus/internal/core"
+	"nimbus/internal/exp"
+	"nimbus/internal/netem"
+	"nimbus/internal/sim"
+	"nimbus/internal/transport"
+)
+
+// Core contribution: the elasticity detector and the Nimbus controller.
+type (
+	// Detector is the FFT-based elasticity detector (§3).
+	Detector = core.Detector
+	// DetectorConfig parameterizes the detector.
+	DetectorConfig = core.DetectorConfig
+	// Pulse is the asymmetric sinusoidal rate pulse (Fig. 7).
+	Pulse = core.Pulse
+	// Config parameterizes a Nimbus flow (§4).
+	Config = core.Config
+	// Nimbus is the mode-switching congestion controller.
+	Nimbus = core.Nimbus
+	// Telemetry is the per-tick snapshot Nimbus reports.
+	Telemetry = core.Telemetry
+	// Mode is delay-control or TCP-competitive.
+	Mode = core.Mode
+	// Role is pulser or watcher (§6).
+	Role = core.Role
+	// MuEstimator supplies the bottleneck rate µ.
+	MuEstimator = core.MuEstimator
+	// Oracle is a MuEstimator that returns a known link rate.
+	Oracle = core.Oracle
+	// BasicDelayConfig parameterizes the BasicDelay algorithm (Eq. 4).
+	BasicDelayConfig = core.BasicDelayConfig
+)
+
+// Modes and roles.
+const (
+	ModeDelay       = core.ModeDelay
+	ModeCompetitive = core.ModeCompetitive
+	RolePulser      = core.RolePulser
+	RoleWatcher     = core.RoleWatcher
+)
+
+// New returns a Nimbus controller (attach it to a transport.Sender or an
+// exp.Rig).
+func New(cfg Config) *Nimbus { return core.NewNimbus(cfg) }
+
+// NewDetector returns a standalone elasticity detector; feed it
+// cross-traffic rate samples and read Elasticity/Elastic.
+func NewDetector(cfg DetectorConfig) *Detector { return core.NewDetector(cfg) }
+
+// DefaultDetectorConfig returns the paper's detector parameters (10 ms
+// samples, 5 s FFT, ηthresh = 2).
+func DefaultDetectorConfig() DetectorConfig { return core.DefaultDetectorConfig() }
+
+// EstimateZ implements the cross-traffic rate estimator ẑ = µS/R − S
+// (Eq. 1).
+func EstimateZ(mu, S, R float64) float64 { return core.EstimateZ(mu, S, R) }
+
+// BasicDelayRate computes the BasicDelay sending rate (Eq. 4).
+func BasicDelayRate(cfg BasicDelayConfig, mu, S, z float64, x, xmin sim.Time) float64 {
+	return core.BasicDelayRate(cfg, mu, S, z, x, xmin)
+}
+
+// NewMaxReceiveRate returns the BBR-style µ estimator used by the
+// paper's implementation.
+func NewMaxReceiveRate(window sim.Time) MuEstimator { return core.NewMaxReceiveRate(window) }
+
+// Congestion control baselines (all implement transport.Controller).
+var (
+	NewCubic    = cc.NewCubic
+	NewReno     = cc.NewReno
+	NewVegas    = cc.NewVegas
+	NewCopa     = cc.NewCopa
+	NewBBR      = cc.NewBBR
+	NewVivace   = cc.NewVivace
+	NewCompound = cc.NewCompound
+)
+
+// Simulation substrate re-exports.
+type (
+	// Time is simulated time in nanoseconds.
+	Time = sim.Time
+	// Scheduler is the discrete-event loop.
+	Scheduler = sim.Scheduler
+	// Network is the single-bottleneck topology (Fig. 2).
+	Network = netem.Network
+	// Link is the rate-limited bottleneck.
+	Link = netem.Link
+	// Packet is a data packet at the bottleneck.
+	Packet = netem.Packet
+	// Sender is the transport endpoint controllers plug into.
+	Sender = transport.Sender
+	// Controller is the congestion-control interface.
+	Controller = transport.Controller
+)
+
+// Experiment harness re-exports.
+type (
+	// Rig is a ready-made bottleneck network for experiments.
+	Rig = exp.Rig
+	// NetConfig configures a Rig.
+	NetConfig = exp.NetConfig
+	// Scheme is a named congestion controller.
+	Scheme = exp.Scheme
+	// SchemeOpts tunes scheme construction.
+	SchemeOpts = exp.SchemeOpts
+)
+
+// NewRig builds an emulated bottleneck.
+func NewRig(cfg NetConfig) *Rig { return exp.NewRig(cfg) }
+
+// NewScheme builds a congestion controller by name ("nimbus", "cubic",
+// "bbr", ...; see internal/exp.NewScheme for the full list).
+func NewScheme(name string, muBps float64, opts SchemeOpts) Scheme {
+	return exp.NewScheme(name, muBps, opts)
+}
+
+// RunExperiment regenerates one of the paper's tables or figures by id
+// ("fig01".."fig26", "table1", "tableE") and returns the textual report.
+// quick=true uses shortened horizons suitable for tests and benchmarks.
+func RunExperiment(id string, seed int64, quick bool) (string, error) {
+	return exp.Run(id, seed, quick)
+}
+
+// ExperimentIDs lists the available experiment ids.
+func ExperimentIDs() []string { return exp.IDs() }

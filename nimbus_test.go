@@ -1,0 +1,75 @@
+package nimbus
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFacadeDetector(t *testing.T) {
+	det := NewDetector(DefaultDetectorConfig())
+	dt := det.Config().SampleInterval.Seconds()
+	for i := 0; i < det.WindowSamples(); i++ {
+		det.AddSample(48e6 + 6e6*math.Sin(2*math.Pi*5*float64(i)*dt))
+	}
+	if !det.Elastic(5) {
+		t.Fatal("facade detector missed a clean 5 Hz signal")
+	}
+}
+
+func TestFacadeEstimateZ(t *testing.T) {
+	mu, S, z := 96e6, 40e6, 30e6
+	R := mu * S / (S + z)
+	if got := EstimateZ(mu, S, R); math.Abs(got-z) > 1 {
+		t.Fatalf("EstimateZ = %v, want %v", got, z)
+	}
+}
+
+func TestFacadeExperimentRegistry(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 27 {
+		t.Fatalf("got %d experiments, want 27", len(ids))
+	}
+	out, err := RunExperiment("fig07", 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "pulse") {
+		t.Fatalf("unexpected fig07 output: %q", out)
+	}
+	if _, err := RunExperiment("nope", 1, true); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestFacadeSchemes(t *testing.T) {
+	for _, name := range []string{"nimbus", "cubic", "bbr"} {
+		s := NewScheme(name, 96e6, SchemeOpts{})
+		if s.Ctrl == nil {
+			t.Fatalf("scheme %s nil", name)
+		}
+	}
+	if NewCubic() == nil || NewReno() == nil || NewVegas() == nil ||
+		NewCopa() == nil || NewBBR() == nil || NewVivace() == nil || NewCompound() == nil {
+		t.Fatal("baseline constructor returned nil")
+	}
+}
+
+func TestFacadeNimbusConstruction(t *testing.T) {
+	n := New(Config{Mu: Oracle{Rate: 96e6}, Competitive: NewCubic()})
+	if n.Mode() != ModeDelay {
+		t.Fatalf("initial mode = %v", n.Mode())
+	}
+	if n.Role() != RolePulser {
+		t.Fatalf("initial role before Init = %v", n.Role())
+	}
+}
+
+func TestFacadeBasicDelayRate(t *testing.T) {
+	cfg := BasicDelayConfig{Alpha: 0.8, Beta: 0.5, TargetDelay: Time(12500000)}
+	x := Time(62500000) // 62.5 ms = xmin + dt
+	rate := BasicDelayRate(cfg, 96e6, 40e6, 56e6, x, Time(50000000))
+	if math.Abs(rate-40e6) > 1e3 {
+		t.Fatalf("equilibrium rate = %v", rate)
+	}
+}
