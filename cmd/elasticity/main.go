@@ -1,11 +1,14 @@
 // Command elasticity is the offline measurement/diagnostic use of the
 // elasticity detector (§1): feed it a cross-traffic rate time series (one
 // value per line, or CSV "t,rate") sampled at a fixed interval, and it
-// reports the elasticity metric η and the classification.
+// reports the elasticity metric η and the classification. Several pulse
+// frequencies can be tested at once; they are analyzed in parallel on
+// -workers cores.
 //
 // Usage:
 //
 //	elasticity -fp 5 -interval 10ms < zseries.csv
+//	elasticity -fp 5,2,1 -workers 4 < zseries.csv
 package main
 
 import (
@@ -18,26 +21,77 @@ import (
 	"time"
 
 	"nimbus/internal/core"
+	"nimbus/internal/runner"
 	"nimbus/internal/sim"
 )
 
 func main() {
 	var (
-		fp       = flag.Float64("fp", 5, "pulse frequency to test, Hz")
+		fps      = flag.String("fp", "5", "pulse frequencies to test, Hz, comma-separated")
 		interval = flag.Duration("interval", 10*time.Millisecond, "sample interval of the input series")
 		window   = flag.Duration("window", 5*time.Second, "FFT window")
 		thresh   = flag.Float64("threshold", 2, "elasticity threshold")
+		workers  = flag.Int("workers", 0, "parallel analyses (0 = all cores)")
 	)
 	flag.Parse()
 
-	det := core.NewDetector(core.DetectorConfig{
+	freqs := parseFreqs(*fps)
+	cfg := core.DetectorConfig{
 		SampleInterval: sim.FromDuration(*interval),
 		FFTDuration:    sim.FromDuration(*window),
 		Threshold:      *thresh,
+	}
+
+	samples, err := readSamples(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	need := core.NewDetector(cfg).WindowSamples()
+	if len(samples) < need {
+		fmt.Fprintf(os.Stderr, "need %d samples for a full window, got %d\n", need, len(samples))
+		os.Exit(1)
+	}
+
+	// Each frequency gets its own detector (the analysis reuses scratch
+	// buffers internally), fed the same series; the analyses run in
+	// parallel and report in input order.
+	type verdict struct {
+		fp, eta float64
+		every   []float64 // eta per full window, in series order
+	}
+	out := runner.Map(*workers, len(freqs), func(i int) verdict {
+		det := core.NewDetector(cfg)
+		v := verdict{fp: freqs[i]}
+		for n, s := range samples {
+			det.AddSample(s)
+			if det.Ready() && (n+1)%det.WindowSamples() == 0 {
+				v.every = append(v.every, det.Elasticity(freqs[i]))
+			}
+		}
+		v.eta = det.Elasticity(freqs[i])
+		return v
 	})
 
-	sc := bufio.NewScanner(os.Stdin)
-	n := 0
+	for _, v := range out {
+		for _, eta := range v.every {
+			report(v.fp, eta, *thresh)
+		}
+		report(v.fp, v.eta, *thresh)
+	}
+}
+
+func report(fp, eta, thresh float64) {
+	class := "INELASTIC"
+	if eta >= thresh {
+		class = "ELASTIC"
+	}
+	fmt.Printf("eta(fp=%.1fHz) = %.3f  threshold = %.1f  =>  %s\n", fp, eta, thresh, class)
+}
+
+func readSamples(f *os.File) ([]float64, error) {
+	sc := bufio.NewScanner(f)
+	var out []float64
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
@@ -52,28 +106,28 @@ func main() {
 			fmt.Fprintf(os.Stderr, "skipping %q: %v\n", line, err)
 			continue
 		}
-		det.AddSample(v)
-		n++
-		if det.Ready() && n%det.WindowSamples() == 0 {
-			report(det, *fp)
-		}
+		out = append(out, v)
 	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	if !det.Ready() {
-		fmt.Fprintf(os.Stderr, "need %d samples for a full window, got %d\n", det.WindowSamples(), n)
-		os.Exit(1)
-	}
-	report(det, *fp)
+	return out, sc.Err()
 }
 
-func report(det *core.Detector, fp float64) {
-	eta := det.Elasticity(fp)
-	class := "INELASTIC"
-	if eta >= det.Threshold() {
-		class = "ELASTIC"
+func parseFreqs(s string) []float64 {
+	var out []float64
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-fp: bad frequency %q: %v\n", p, err)
+			os.Exit(2)
+		}
+		out = append(out, v)
 	}
-	fmt.Printf("eta(fp=%.1fHz) = %.3f  threshold = %.1f  =>  %s\n", fp, eta, det.Threshold(), class)
+	if len(out) == 0 {
+		fmt.Fprintln(os.Stderr, "-fp: no frequencies given")
+		os.Exit(2)
+	}
+	return out
 }

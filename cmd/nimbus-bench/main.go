@@ -1,12 +1,15 @@
-// Command nimbus-bench regenerates the paper's tables and figures. Each
-// experiment id corresponds to one table or figure (see DESIGN.md for
-// the index); "all" runs everything.
+// Command nimbus-bench regenerates the paper's tables and figures, and
+// benchmarks the simulator through the parallel sweep engine. Each
+// experiment id corresponds to one table or figure (see DESIGN.md for the
+// index); "all" runs everything. Figure grids fan out across -workers
+// cores; results are identical for any worker count.
 //
 // Usage:
 //
 //	nimbus-bench -list
-//	nimbus-bench -run fig08 [-seed 1] [-full]
+//	nimbus-bench -run fig08 [-seed 1] [-full] [-workers 8]
 //	nimbus-bench -run all -full
+//	nimbus-bench -benchmark [-bench-out BENCH_runner.json]
 package main
 
 import (
@@ -16,38 +19,103 @@ import (
 	"time"
 
 	"nimbus/internal/exp"
+	"nimbus/internal/runner"
 )
 
 func main() {
 	var (
-		list = flag.Bool("list", false, "list experiment ids and exit")
-		run  = flag.String("run", "", "experiment id to run (or \"all\")")
-		seed = flag.Int64("seed", 1, "simulation seed")
-		full = flag.Bool("full", false, "run at the paper's full horizons (slower)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		run      = flag.String("run", "", "experiment id to run (or \"all\")")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		full     = flag.Bool("full", false, "run at the paper's full horizons (slower)")
+		workers  = flag.Int("workers", 0, "worker pool size for experiment grids (0 = all cores, 1 = sequential)")
+		bench    = flag.Bool("benchmark", false, "run the canonical scenario sweep and report events/sec per scenario")
+		benchOut = flag.String("bench-out", "BENCH_runner.json", "where -benchmark writes its results (.json or .csv)")
 	)
 	flag.Parse()
+	exp.Workers = *workers
 
-	if *list {
+	switch {
+	case *list:
 		for _, id := range exp.IDs() {
 			fmt.Printf("%-8s %s\n", id, exp.Registry[id].Title)
 		}
-		return
-	}
-	if *run == "" {
+	case *bench:
+		runBenchmark(*seed, *workers, *benchOut)
+	case *run == "":
 		flag.Usage()
 		os.Exit(2)
+	default:
+		ids := []string{*run}
+		if *run == "all" {
+			ids = exp.IDs()
+		}
+		for _, id := range ids {
+			start := time.Now()
+			out, err := exp.Run(id, *seed, !*full)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("==== %s (%s) [%.1fs wall] ====\n%s\n", id, exp.Registry[id].Title, time.Since(start).Seconds(), out)
+		}
 	}
-	ids := []string{*run}
-	if *run == "all" {
-		ids = exp.IDs()
+}
+
+// benchGrid is the canonical perf-tracking sweep: every scheme family the
+// repo implements against the cross-traffic kinds that stress different
+// parts of the stack, at two link rates. It exists so BENCH_runner.json
+// is comparable across commits.
+func benchGrid(seed int64) runner.Grid {
+	return runner.Grid{
+		Base: runner.Scenario{
+			RTTms: 50, BufferMs: 100, DurationSec: 30, Seed: seed,
+		},
+		RatesMbps: []float64{96, 192},
+		Schemes:   []string{"nimbus", "cubic", "bbr", "copa"},
+		Crosses: []runner.Cross{
+			{Kind: "none"},
+			{Kind: "poisson", RateMbps: 48},
+			{Kind: "cubic"},
+		},
 	}
-	for _, id := range ids {
-		start := time.Now()
-		out, err := exp.Run(id, *seed, !*full)
-		if err != nil {
+}
+
+func runBenchmark(seed int64, workers int, out string) {
+	scs := benchGrid(seed).Expand()
+	fmt.Fprintf(os.Stderr, "benchmark: %d scenarios on %d workers\n", len(scs), effectiveWorkers(workers))
+	start := time.Now()
+	rn := &runner.Runner{Workers: workers, OnProgress: runner.Progress(os.Stderr)}
+	rs := rn.Run(scs, exp.RunScenario)
+	wall := time.Since(start).Seconds()
+
+	var events uint64
+	for _, r := range rs {
+		events += r.Events
+		if r.Err != "" {
+			fmt.Fprintf(os.Stderr, "scenario %s failed: %s\n", r.Scenario.Name, r.Err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("%-36s %12s %10s %12s\n", "scenario", "events", "wall s", "events/s")
+	for _, r := range rs {
+		fmt.Printf("%-36s %12d %10.2f %12.0f\n", r.Scenario.Name, r.Events, r.WallSec, r.EventsPerSec())
+	}
+	fmt.Printf("total: %d events in %.1fs wall (%.0f events/s aggregate)\n",
+		events, wall, float64(events)/wall)
+
+	if out != "" {
+		if err := runner.WriteFile(out, rs); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("==== %s (%s) [%.1fs wall] ====\n%s\n", id, exp.Registry[id].Title, time.Since(start).Seconds(), out)
+		fmt.Fprintf(os.Stderr, "wrote %s\n", out)
 	}
+}
+
+func effectiveWorkers(w int) int {
+	if w == 0 {
+		return runner.DefaultWorkers()
+	}
+	return w
 }

@@ -1,64 +1,135 @@
-// Command nimbus-sim runs a single configurable scenario on the emulated
-// bottleneck and prints a per-second trace plus a summary. It is the
-// quickest way to watch Nimbus (or any baseline) against a chosen cross
-// traffic mix.
+// Command nimbus-sim runs scenarios on the emulated bottleneck. With
+// scalar flags it runs one scenario and prints a per-second trace plus a
+// summary — the quickest way to watch Nimbus (or any baseline) against a
+// chosen cross traffic mix. Any of -scheme, -rate, -rtt, -buf, -aqm,
+// -cross and -seed also accept comma-separated lists; the cartesian
+// product then runs as a parallel sweep on -workers cores and prints one
+// summary row per scenario (optionally written to -out as JSON or CSV).
 //
-// Example:
+// Examples:
 //
-//	nimbus-sim -scheme nimbus -rate 96 -rtt 50ms -buf 100ms \
-//	    -cross cubic -dur 60s
+//	nimbus-sim -scheme nimbus -rate 96 -rtt 50ms -buf 100ms -cross cubic -dur 60s
+//	nimbus-sim -scheme nimbus,cubic,bbr -rate 48,96 -rtt 25ms,50ms,100ms \
+//	    -cross poisson -workers 8 -out sweep.csv
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"nimbus/internal/exp"
+	"nimbus/internal/runner"
 	"nimbus/internal/sim"
 )
 
 func main() {
 	var (
-		scheme  = flag.String("scheme", "nimbus", "congestion control scheme (see internal/exp.NewScheme)")
-		rate    = flag.Float64("rate", 96, "bottleneck link rate, Mbit/s")
-		rtt     = flag.Duration("rtt", 50*time.Millisecond, "base RTT")
-		buf     = flag.Duration("buf", 100*time.Millisecond, "buffer depth (time at link rate)")
-		aqm     = flag.String("aqm", "droptail", "queue discipline: droptail, pie, codel")
+		scheme  = flag.String("scheme", "nimbus", "congestion control scheme(s), comma-separated (see internal/exp.NewScheme)")
+		rate    = flag.String("rate", "96", "bottleneck link rate(s), Mbit/s, comma-separated")
+		rtt     = flag.String("rtt", "50ms", "base RTT(s), comma-separated durations")
+		buf     = flag.String("buf", "100ms", "buffer depth(s) (time at link rate), comma-separated durations")
+		aqm     = flag.String("aqm", "droptail", "queue discipline(s): droptail, pie, codel; comma-separated")
 		cross   = flag.String("cross", "none", "cross traffic: none, cubic, reno, poisson, cbr, trace, video4k, video1080p")
 		crossMb = flag.Float64("cross-rate", 48, "cross traffic rate for poisson/cbr/trace, Mbit/s")
 		dur     = flag.Duration("dur", 60*time.Second, "simulated duration")
-		seed    = flag.Int64("seed", 1, "random seed")
-		quiet   = flag.Bool("quiet", false, "suppress the per-second trace")
+		seed    = flag.String("seed", "1", "random seed(s), comma-separated")
+		workers = flag.Int("workers", 0, "sweep worker pool size (0 = all cores, 1 = sequential)")
+		out     = flag.String("out", "", "write sweep results to this file (.json or .csv)")
+		quiet   = flag.Bool("quiet", false, "suppress the per-second trace (single-scenario mode)")
 	)
 	flag.Parse()
 
-	r := exp.NewRig(exp.NetConfig{
-		RateMbps: *rate,
-		RTT:      sim.FromDuration(*rtt),
-		Buffer:   sim.FromDuration(*buf),
-		AQM:      *aqm,
-		Seed:     *seed,
-	})
-	sch := exp.NewScheme(*scheme, r.MuBps, exp.SchemeOpts{})
-	probe := r.AddFlow(sch, sim.FromDuration(*rtt), 0)
-	if err := exp.AddCross(r, *cross, *crossMb*1e6, sim.FromDuration(*rtt)); err != nil {
+	grid := runner.Grid{
+		Base: runner.Scenario{
+			CrossRateMbps: *crossMb,
+			DurationSec:   sim.FromDuration(*dur).Seconds(),
+		},
+		Schemes:   splitStrings(*scheme),
+		RatesMbps: parseFloats(*rate, "-rate"),
+		RTTsMs:    parseDurationsMs(*rtt, "-rtt"),
+		BuffersMs: parseDurationsMs(*buf, "-buf"),
+		AQMs:      splitStrings(*aqm),
+		Crosses:   crossList(*cross, *crossMb),
+		Seeds:     parseInts(*seed, "-seed"),
+	}
+	if len(grid.Schemes) == 0 {
+		fatalf("-scheme: no values given")
+	}
+	scs := grid.Expand()
+	if len(scs) == 1 {
+		// Single-scenario mode runs with the requested seed itself (the
+		// historical behavior); seed derivation only matters for sweeps,
+		// where cells must not share random streams.
+		scs[0].RunSeed = 0
+		runSingle(scs[0], *quiet)
+		return
+	}
+	runSweep(scs, *workers, *out)
+}
+
+// crossList expands a comma-separated -cross value; every kind shares the
+// -cross-rate.
+func crossList(kinds string, rateMbps float64) []runner.Cross {
+	var out []runner.Cross
+	for _, k := range splitStrings(kinds) {
+		out = append(out, runner.Cross{Kind: k, RateMbps: rateMbps})
+	}
+	if len(out) == 0 {
+		fatalf("-cross: no values given")
+	}
+	return out
+}
+
+// runSweep executes the grid on the worker pool and prints a summary table.
+func runSweep(scs []runner.Scenario, workers int, out string) {
+	rn := &runner.Runner{Workers: workers, OnProgress: runner.Progress(os.Stderr)}
+	rs := rn.Run(scs, exp.RunScenario)
+
+	fmt.Printf("%-40s %10s %12s %12s %12s\n", "scenario", "Mbit/s", "qdelay p95", "mode sw", "events/s")
+	for _, r := range rs {
+		if r.Err != "" {
+			fmt.Printf("%-40s ERROR: %s\n", r.Scenario.Name, r.Err)
+			continue
+		}
+		modeSw := "-"
+		if v, ok := r.Metrics["mode_switches"]; ok {
+			modeSw = strconv.Itoa(int(v))
+		}
+		fmt.Printf("%-40s %10.2f %9.1f ms %12s %12.0f\n",
+			r.Scenario.Name, r.Metrics["mean_mbps"], r.Metrics["qdelay_p95_ms"], modeSw, r.EventsPerSec())
+	}
+	if out != "" {
+		if err := runner.WriteFile(out, rs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+	}
+}
+
+// runSingle preserves the classic single-scenario view: a per-second
+// trace of throughput, queueing delay and Nimbus mode, then a summary.
+func runSingle(sc runner.Scenario, quiet bool) {
+	r, scheme, probe, err := rigFor(sc)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-
-	end := sim.FromDuration(*dur)
-	if !*quiet {
+	end := sim.FromSeconds(sc.DurationSec)
+	if !quiet {
 		fmt.Printf("%6s %10s %10s %8s %10s\n", "t(s)", "Mbit/s", "delay(ms)", "mode", "eta")
 		var report func()
 		report = func() {
 			now := r.Sch.Now()
 			if now > 0 {
 				mode, eta := "-", "-"
-				if sch.Nimbus != nil {
-					mode = sch.Nimbus.Mode().String()
-					eta = fmt.Sprintf("%.2f", sch.Nimbus.LastEta())
+				if scheme.Nimbus != nil {
+					mode = scheme.Nimbus.Mode().String()
+					eta = fmt.Sprintf("%.2f", scheme.Nimbus.LastEta())
 				}
 				fmt.Printf("%6.0f %10.2f %10.2f %8s %10s\n",
 					now.Seconds(),
@@ -74,12 +145,84 @@ func main() {
 	}
 	r.Sch.RunUntil(end)
 
-	fmt.Printf("\nsummary: scheme=%s mean=%.2f Mbit/s", *scheme, probe.MeanMbps(0, end))
+	fmt.Printf("\nsummary: scheme=%s mean=%.2f Mbit/s", sc.Scheme, probe.MeanMbps(0, end))
 	d := probe.Delay.Summary()
 	fmt.Printf(" qdelay mean=%.1fms p50=%.1fms p95=%.1fms", d.Mean, d.P50, d.P95)
-	if sch.Nimbus != nil {
+	if scheme.Nimbus != nil {
 		fmt.Printf(" modeSwitches=%d finalMode=%s role=%s",
-			sch.Nimbus.ModeSwitches, sch.Nimbus.Mode(), sch.Nimbus.Role())
+			scheme.Nimbus.ModeSwitches, scheme.Nimbus.Mode(), scheme.Nimbus.Role())
 	}
 	fmt.Println()
+}
+
+// rigFor materializes the scenario, turning harness panics (unknown
+// scheme or AQM) into flag-style errors instead of stack traces.
+func rigFor(sc runner.Scenario) (r *exp.Rig, scheme exp.Scheme, probe *exp.FlowProbe, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("%v", p)
+		}
+	}()
+	return exp.RigForScenario(sc)
+}
+
+func splitStrings(s string) []string {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseFloats(s, flagName string) []float64 {
+	var out []float64
+	for _, p := range splitStrings(s) {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			fatalf("%s: bad value %q: %v", flagName, p, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		fatalf("%s: no values given", flagName)
+	}
+	return out
+}
+
+func parseInts(s, flagName string) []int64 {
+	var out []int64
+	for _, p := range splitStrings(s) {
+		v, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			fatalf("%s: bad value %q: %v", flagName, p, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		fatalf("%s: no values given", flagName)
+	}
+	return out
+}
+
+func parseDurationsMs(s, flagName string) []float64 {
+	var out []float64
+	for _, p := range splitStrings(s) {
+		d, err := time.ParseDuration(p)
+		if err != nil {
+			fatalf("%s: bad duration %q: %v", flagName, p, err)
+		}
+		out = append(out, sim.FromDuration(d).Millis())
+	}
+	if len(out) == 0 {
+		fatalf("%s: no values given", flagName)
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
 }

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"nimbus/internal/runner"
 	"nimbus/internal/sim"
 )
 
@@ -195,6 +196,54 @@ func TestPaths25Properties(t *testing.T) {
 	}
 	if policers > 12 {
 		t.Fatal("too many policed paths; Fig 19 needs paths with queueing")
+	}
+}
+
+func TestParallelFigureDeterminism(t *testing.T) {
+	// The acceptance bar for the sweep engine: running a figure grid on N
+	// workers must produce byte-identical reports to a sequential run.
+	// Fig22 (4 cells in quick mode at a shortened horizon) keeps this fast.
+	old := Workers
+	defer func() { Workers = old }()
+
+	run := func(w int) string {
+		Workers = w
+		rows := mapCells(2, func(i int) Fig22Row {
+			return RunFig22Point([]float64{0.5, 2}[i], 1, 10*sim.Second)
+		})
+		return FormatFig22(rows)
+	}
+	seq := run(1)
+	for _, w := range []int{2, 8} {
+		if par := run(w); par != seq {
+			t.Fatalf("workers=%d report differs from sequential:\n%s\nvs\n%s", w, par, seq)
+		}
+	}
+}
+
+func TestRunScenarioMetrics(t *testing.T) {
+	r := RunScenario(runner.Scenario{
+		Name: "smoke", RateMbps: 48, RTTms: 50, BufferMs: 100,
+		Scheme: "nimbus", Cross: "poisson", CrossRateMbps: 12,
+		DurationSec: 8, Seed: 7,
+	})
+	if r.Err != "" {
+		t.Fatalf("scenario failed: %s", r.Err)
+	}
+	if r.Events == 0 {
+		t.Fatal("no simulator events recorded")
+	}
+	m := r.Metrics
+	if m["mean_mbps"] <= 1 || m["mean_mbps"] > 48 {
+		t.Fatalf("mean_mbps = %v, want within (1, 48]", m["mean_mbps"])
+	}
+	if _, ok := m["mode_switches"]; !ok {
+		t.Fatal("nimbus scheme should report mode telemetry")
+	}
+	// Unknown cross kinds surface as error rows, not panics.
+	bad := RunScenario(runner.Scenario{RateMbps: 48, RTTms: 50, Scheme: "cubic", Cross: "flood", DurationSec: 1})
+	if bad.Err == "" {
+		t.Fatal("bad cross kind should produce an error row")
 	}
 }
 

@@ -75,11 +75,10 @@ func RunFig01(scheme string, seed int64) Fig01Result {
 
 // Fig01 runs the three panels of Fig. 1.
 func Fig01(seed int64) []Fig01Result {
-	var out []Fig01Result
-	for _, s := range []string{"cubic", "nimbus-delay", "nimbus"} {
-		out = append(out, RunFig01(s, seed))
-	}
-	return out
+	schemes := []string{"cubic", "nimbus-delay", "nimbus"}
+	return mapCells(len(schemes), func(i int) Fig01Result {
+		return RunFig01(schemes[i], seed)
+	})
 }
 
 // FormatFig01 renders the paper-style comparison.

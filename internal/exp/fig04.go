@@ -104,7 +104,9 @@ func sqrt(x float64) float64 {
 
 // Fig04 runs both panels.
 func Fig04(seed int64) []Fig04Result {
-	return []Fig04Result{RunFig04(true, seed), RunFig04(false, seed)}
+	return mapCells(2, func(i int) Fig04Result {
+		return RunFig04(i == 0, seed)
+	})
 }
 
 // FormatFig04 renders the result.

@@ -47,7 +47,9 @@ func RunFig05(elastic bool, seed int64) Fig05Result {
 
 // Fig05 runs both panels.
 func Fig05(seed int64) []Fig05Result {
-	return []Fig05Result{RunFig05(true, seed), RunFig05(false, seed)}
+	return mapCells(2, func(i int) Fig05Result {
+		return RunFig05(i == 0, seed)
+	})
 }
 
 // FormatFig05 renders the result.

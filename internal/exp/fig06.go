@@ -75,11 +75,10 @@ func Fig06(seed int64, quick bool) []Fig06Row {
 	if quick {
 		dur = 40 * sim.Second
 	}
-	var out []Fig06Row
-	for _, f := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
-		out = append(out, RunFig06Point(f, seed, dur))
-	}
-	return out
+	fracs := []float64{0, 0.25, 0.5, 0.75, 1.0}
+	return mapCells(len(fracs), func(i int) Fig06Row {
+		return RunFig06Point(fracs[i], seed, dur)
+	})
 }
 
 // FormatFig06 renders the result.

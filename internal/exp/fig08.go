@@ -142,11 +142,9 @@ func Fig08(seed int64, quick bool) []Fig08Row {
 	if quick {
 		phase = 12 * sim.Second
 	}
-	var out []Fig08Row
-	for _, s := range Fig08Schemes {
-		out = append(out, RunFig08(s, seed, phase))
-	}
-	return out
+	return mapCells(len(Fig08Schemes), func(i int) Fig08Row {
+		return RunFig08(Fig08Schemes[i], seed, phase)
+	})
 }
 
 // FormatFig08 renders the comparison.

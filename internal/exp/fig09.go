@@ -71,11 +71,9 @@ func Fig09(seed int64, quick bool) []Fig09Row {
 	if quick {
 		dur = 60 * sim.Second
 	}
-	var out []Fig09Row
-	for _, s := range SchemeNames {
-		out = append(out, RunFig09(s, seed, dur, 0.5))
-	}
-	return out
+	return mapCells(len(SchemeNames), func(i int) Fig09Row {
+		return RunFig09(SchemeNames[i], seed, dur, 0.5)
+	})
 }
 
 // FormatFig09 renders the comparison.
@@ -108,8 +106,10 @@ func Fig10(seed int64, quick bool) Fig10Result {
 	if quick {
 		dur = 60 * sim.Second
 	}
-	n := RunFig09("nimbus", seed, dur, 0.5)
-	c := RunFig09("copa", seed, dur, 0.5)
+	rows := mapCells(2, func(i int) Fig09Row {
+		return RunFig09([]string{"nimbus", "copa"}[i], seed, dur, 0.5)
+	})
+	n, c := rows[0], rows[1]
 	res := Fig10Result{NimbusSeries: n.TputSeries, CopaSeries: c.TputSeries}
 	trim := func(xs []float64) []float64 {
 		if len(xs) > 5 {

@@ -52,13 +52,16 @@ func Fig11(seed int64, quick bool) []Fig11Row {
 	if quick {
 		dur = 60 * sim.Second
 	}
-	var out []Fig11Row
+	type cell struct{ scheme, video string }
+	var cells []cell
 	for _, video := range []string{"4k", "1080p"} {
 		for _, s := range SchemeNames {
-			out = append(out, RunFig11(s, video, seed, dur))
+			cells = append(cells, cell{s, video})
 		}
 	}
-	return out
+	return mapCells(len(cells), func(i int) Fig11Row {
+		return RunFig11(cells[i].scheme, cells[i].video, seed, dur)
+	})
 }
 
 // FormatFig11 renders the scatter as a table.

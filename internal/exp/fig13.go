@@ -28,16 +28,22 @@ func Fig13(seed int64, quick bool) []Fig13Row {
 	if quick {
 		dur = 50 * sim.Second
 	}
-	var out []Fig13Row
+	type cell struct {
+		name, scheme string
+		pulse, load  float64
+	}
+	var cells []cell
 	for _, load := range []float64{0.5, 0.9} {
 		for _, pulse := range []float64{0.125, 0.25} {
-			r := runFig13(fmt.Sprintf("nimbus%.3g", pulse), "nimbus", pulse, load, seed, dur)
-			out = append(out, r)
+			cells = append(cells, cell{fmt.Sprintf("nimbus%.3g", pulse), "nimbus", pulse, load})
 		}
-		out = append(out, runFig13("cubic", "cubic", 0, load, seed, dur))
-		out = append(out, runFig13("vegas", "vegas", 0, load, seed, dur))
+		cells = append(cells, cell{"cubic", "cubic", 0, load})
+		cells = append(cells, cell{"vegas", "vegas", 0, load})
 	}
-	return out
+	return mapCells(len(cells), func(i int) Fig13Row {
+		c := cells[i]
+		return runFig13(c.name, c.scheme, c.pulse, c.load, seed, dur)
+	})
 }
 
 func runFig13(label, scheme string, pulse, load float64, seed int64, dur sim.Time) Fig13Row {

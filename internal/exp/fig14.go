@@ -110,15 +110,23 @@ func Fig14(seed int64, quick bool) Fig14Result {
 		shares = []float64{0.3, 0.5, 0.7, 0.9}
 		ratios = []float64{1, 2, 4}
 	}
-	var res Fig14Result
+	type cell struct {
+		share float64
+		kind  string
+	}
+	var cells []cell
 	for _, s := range shares {
 		for _, kind := range []string{"cbr", "poisson"} {
-			res.Left = append(res.Left, RunFig14Left(s, kind, seed, dur))
+			cells = append(cells, cell{s, kind})
 		}
 	}
-	for _, rt := range ratios {
-		res.Right = append(res.Right, RunFig14Right(rt, seed, dur))
-	}
+	var res Fig14Result
+	res.Left = mapCells(len(cells), func(i int) Fig14LeftRow {
+		return RunFig14Left(cells[i].share, cells[i].kind, seed, dur)
+	})
+	res.Right = mapCells(len(ratios), func(i int) Fig14RightRow {
+		return RunFig14Right(ratios[i], seed, dur)
+	})
 	return res
 }
 

@@ -58,13 +58,19 @@ func Fig15(seed int64, quick bool) []Fig15Row {
 		dur = 45 * sim.Second
 		ratios = []float64{0.2, 1.0, 4.0}
 	}
-	var out []Fig15Row
+	type cell struct {
+		ratio float64
+		mix   string
+	}
+	var cells []cell
 	for _, mix := range []string{"elastic", "mix", "inelastic"} {
 		for _, rt := range ratios {
-			out = append(out, RunFig15Point(rt, mix, seed, dur))
+			cells = append(cells, cell{rt, mix})
 		}
 	}
-	return out
+	return mapCells(len(cells), func(i int) Fig15Row {
+		return RunFig15Point(cells[i].ratio, cells[i].mix, seed, dur)
+	})
 }
 
 // FormatFig15 renders the sweep.

@@ -29,19 +29,20 @@ func Fig21(seed int64, quick bool) []Fig21Row {
 		dur = 60 * sim.Second
 	}
 	schemes := []string{"nimbus", "bbr", "cubic", "vegas", "copa", "vivace"}
-	rows := make([]Fig21Row, 0, len(schemes))
-	var nimbusP95 map[string]float64
-	for _, s := range schemes {
-		r9 := RunFig09(s, seed, dur, 0.5)
+	rows := mapCells(len(schemes), func(i int) Fig21Row {
+		r9 := RunFig09(schemes[i], seed, dur, 0.5)
 		b := metrics.FCTBuckets(r9.CrossFCTs)
 		p95 := map[string]float64{}
 		for name, sum := range b {
 			p95[name] = sum.P95
 		}
-		if s == "nimbus" {
-			nimbusP95 = p95
+		return Fig21Row{Scheme: schemes[i], P95: p95}
+	})
+	var nimbusP95 map[string]float64
+	for _, r := range rows {
+		if r.Scheme == "nimbus" {
+			nimbusP95 = r.P95
 		}
-		rows = append(rows, Fig21Row{Scheme: s, P95: p95})
 	}
 	for i := range rows {
 		rows[i].Normalized = map[string]float64{}

@@ -56,11 +56,9 @@ func Fig22(seed int64, quick bool) []Fig22Row {
 		dur = 45 * sim.Second
 		bufs = []float64{0.5, 2}
 	}
-	var out []Fig22Row
-	for _, b := range bufs {
-		out = append(out, RunFig22Point(b, seed, dur))
-	}
-	return out
+	return mapCells(len(bufs), func(i int) Fig22Row {
+		return RunFig22Point(bufs[i], seed, dur)
+	})
 }
 
 // FormatFig22 renders the sweep.

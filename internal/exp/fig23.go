@@ -62,13 +62,19 @@ func Fig23(seed int64, quick bool) []Fig23Row {
 	if quick {
 		dur = 40 * sim.Second
 	}
-	var out []Fig23Row
+	type cell struct {
+		scheme string
+		cbr    float64
+	}
+	var cells []cell
 	for _, cbr := range []float64{24, 80} {
 		for _, s := range []string{"copa", "nimbus"} {
-			out = append(out, RunFig23Point(s, cbr, seed, dur))
+			cells = append(cells, cell{s, cbr})
 		}
 	}
-	return out
+	return mapCells(len(cells), func(i int) Fig23Row {
+		return RunFig23Point(cells[i].scheme, cells[i].cbr, seed, dur)
+	})
 }
 
 // FormatFig23 renders the grid.
@@ -129,13 +135,19 @@ func Fig24(seed int64, quick bool) []Fig24Row {
 	if quick {
 		dur = 40 * sim.Second
 	}
-	var out []Fig24Row
+	type cell struct {
+		scheme string
+		ratio  float64
+	}
+	var cells []cell
 	for _, ratio := range []float64{1, 4} {
 		for _, s := range []string{"copa", "nimbus"} {
-			out = append(out, RunFig24Point(s, ratio, seed, dur))
+			cells = append(cells, cell{s, ratio})
 		}
 	}
-	return out
+	return mapCells(len(cells), func(i int) Fig24Row {
+		return RunFig24Point(cells[i].scheme, cells[i].ratio, seed, dur)
+	})
 }
 
 // FormatFig24 renders the grid.

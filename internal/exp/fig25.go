@@ -75,17 +75,24 @@ func Fig25(seed int64, quick bool) []Fig25Row {
 		rates = []float64{96}
 		dur = 30 * sim.Second
 	}
-	var out []Fig25Row
+	type cell struct {
+		pulse, share, rate float64
+		mix                string
+	}
+	var cells []cell
 	for _, mix := range mixes {
 		for _, rate := range rates {
 			for _, share := range shares {
 				for _, p := range pulses {
-					out = append(out, RunFig25Cell(p, share, rate, mix, seed, dur))
+					cells = append(cells, cell{p, share, rate, mix})
 				}
 			}
 		}
 	}
-	return out
+	return mapCells(len(cells), func(i int) Fig25Row {
+		c := cells[i]
+		return RunFig25Cell(c.pulse, c.share, c.rate, c.mix, seed, dur)
+	})
 }
 
 // FormatFig25 renders the sweep grouped by mix.

@@ -58,10 +58,10 @@ func Fig26(seed int64, quick bool) []Fig26Row {
 	if quick {
 		dur = 50 * sim.Second
 	}
-	return []Fig26Row{
-		RunFig26Point(5, seed, dur),
-		RunFig26Point(2, seed, dur),
-	}
+	freqs := []float64{5, 2}
+	return mapCells(len(freqs), func(i int) Fig26Row {
+		return RunFig26Point(freqs[i], seed, dur)
+	})
 }
 
 // FormatFig26 renders the result.

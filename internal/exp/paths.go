@@ -104,13 +104,19 @@ func Fig18(seed int64, quick bool) []PathRow {
 	if quick {
 		dur = 30 * sim.Second
 	}
-	var out []PathRow
+	type cell struct {
+		path   PathProfile
+		scheme string
+	}
+	var cells []cell
 	for _, p := range Paths25()[:3] {
 		for _, s := range PathSchemes {
-			out = append(out, RunPath(p, s, seed, dur))
+			cells = append(cells, cell{p, s})
 		}
 	}
-	return out
+	return mapCells(len(cells), func(i int) PathRow {
+		return RunPath(cells[i].path, cells[i].scheme, seed, dur)
+	})
 }
 
 // FormatFig18 renders the three example paths.
@@ -143,30 +149,36 @@ func Fig19(seed int64, quick bool) []Fig19Result {
 		dur = 20 * sim.Second
 		paths = paths[:8]
 	}
+	// "paths with queueing" per Fig 19
+	var queued []PathProfile
+	for _, p := range paths {
+		if !p.Policer {
+			queued = append(queued, p)
+		}
+	}
+	// One cell per (scheme, path); aggregate per scheme afterwards.
+	rows := mapCells(len(PathSchemes)*len(queued), func(i int) PathRow {
+		return RunPath(queued[i%len(queued)], PathSchemes[i/len(queued)], seed, dur)
+	})
 	var out []Fig19Result
-	for _, s := range PathSchemes {
+	for si, s := range PathSchemes {
 		var tputs, rtts []float64
 		var tputSum, rttSum float64
-		n := 0
-		for _, p := range paths {
-			if p.Policer {
-				continue // "paths with queueing" per Fig 19
-			}
-			row := RunPath(p, s, seed, dur)
+		for pi, p := range queued {
+			row := rows[si*len(queued)+pi]
 			// Normalize throughput by the path rate so different paths
 			// are comparable in one CDF.
 			tputs = append(tputs, row.MeanMbps/p.RateMbps)
 			rtts = append(rtts, row.MeanRTTms)
 			tputSum += row.MeanMbps
 			rttSum += row.MeanRTTms
-			n++
 		}
 		out = append(out, Fig19Result{
 			Scheme:    s,
 			TputCDF:   stats.CDF(tputs, 0),
 			RTTCDF:    stats.CDF(rtts, 0),
-			MeanMbps:  tputSum / float64(n),
-			MeanRTTms: rttSum / float64(n),
+			MeanMbps:  tputSum / float64(len(queued)),
+			MeanRTTms: rttSum / float64(len(queued)),
 		})
 	}
 	return out
@@ -203,15 +215,19 @@ func Fig20(seed int64, quick bool) Fig20Result {
 	}
 	p := Paths25()[0]
 	var res Fig20Result
-	for i := 0; i < n; i++ {
+	res.Runs = mapCells(2*n, func(j int) PathRow {
+		i := j / 2
 		s := seed + int64(i)*101
 		// Vary the background load per run.
 		pv := p
 		pv.BgLoad = 0.1 + 0.6*sim.NewRand(s).Float64()
 		pv.BgElastic = i % 2
-		res.Runs = append(res.Runs, RunPath(pv, "cubic", s, dur))
-		res.Runs = append(res.Runs, RunPath(pv, "nimbus-delay", s, dur))
-	}
+		scheme := "cubic"
+		if j%2 == 1 {
+			scheme = "nimbus-delay"
+		}
+		return RunPath(pv, scheme, s, dur)
+	})
 	return res
 }
 

@@ -1,0 +1,91 @@
+package exp
+
+import (
+	"nimbus/internal/core"
+	"nimbus/internal/runner"
+	"nimbus/internal/sim"
+)
+
+// Workers is the worker-pool size every experiment grid in this package
+// runs on: 0 means one worker per CPU, 1 forces sequential execution.
+// cmd binaries set it from their -workers flag. Changing it never changes
+// results — each grid cell owns its scheduler and random streams — only
+// how many cells run at once.
+var Workers = 0
+
+// mapCells fans the n cells of an experiment grid out on the shared
+// worker pool, returning results in cell order.
+func mapCells[T any](n int, f func(i int) T) []T {
+	return runner.Map(Workers, n, f)
+}
+
+// NetConfigFor translates a declarative scenario's link description.
+func NetConfigFor(sc runner.Scenario) NetConfig {
+	return NetConfig{
+		RateMbps:  sc.RateMbps,
+		RTT:       sim.FromSeconds(sc.RTTms / 1e3),
+		Buffer:    sim.FromSeconds(sc.BufferMs / 1e3),
+		AQM:       sc.AQM,
+		PIETarget: sim.FromSeconds(sc.PIETargetMs / 1e3),
+		Seed:      sc.EffectiveSeed(),
+	}
+}
+
+// RigForScenario materializes a declarative scenario: the bottleneck, the
+// scheme under test as a backlogged flow with a probe, and the scenario's
+// cross traffic. The caller may attach extra instrumentation before
+// running the rig to sc.DurationSec.
+func RigForScenario(sc runner.Scenario) (*Rig, Scheme, *FlowProbe, error) {
+	r := NewRig(NetConfigFor(sc))
+	scheme := NewScheme(sc.Scheme, r.MuBps, SchemeOpts{})
+	rtt := sim.FromSeconds(sc.RTTms / 1e3)
+	probe := r.AddFlow(scheme, rtt, 0)
+	crossRTT := rtt
+	if sc.CrossRTTms > 0 {
+		crossRTT = sim.FromSeconds(sc.CrossRTTms / 1e3)
+	}
+	if err := AddCross(r, sc.Cross, sc.CrossRateMbps*1e6, crossRTT); err != nil {
+		return nil, Scheme{}, nil, err
+	}
+	return r, scheme, probe, nil
+}
+
+// RunScenario is the standard runner.RunFunc: it materializes the
+// scenario, runs it to its horizon, and reports the measurements every
+// sweep wants — throughput, queueing delay, utilization, drops, and (for
+// Nimbus schemes) mode telemetry. The engine fills in wall time.
+func RunScenario(sc runner.Scenario) runner.Result {
+	r, scheme, probe, err := RigForScenario(sc)
+	if err != nil {
+		return runner.Result{Scenario: sc, Err: err.Error()}
+	}
+	end := sim.FromSeconds(sc.DurationSec)
+	r.Sch.RunUntil(end)
+
+	d := probe.Delay.Summary()
+	m := map[string]float64{
+		"mean_mbps":       probe.MeanMbps(0, end),
+		"qdelay_mean_ms":  d.Mean,
+		"qdelay_p50_ms":   d.P50,
+		"qdelay_p95_ms":   d.P95,
+		"utilization":     r.Link.Utilization(),
+		"dropped_packets": float64(r.Link.DroppedPackets),
+	}
+	if scheme.Nimbus != nil {
+		m["mode_switches"] = float64(scheme.Nimbus.ModeSwitches)
+		m["eta"] = scheme.Nimbus.LastEta()
+		mode := 0.0
+		if scheme.Nimbus.Mode() == core.ModeCompetitive {
+			mode = 1
+		}
+		m["competitive_mode"] = mode
+	}
+	return runner.Result{Scenario: sc, Metrics: m, Events: r.Sch.Executed}
+}
+
+// RunSweep expands the grid and executes it on the pool, reporting
+// progress through onProgress (which may be nil).
+func RunSweep(g runner.Grid, workers int, onProgress func(done, total int, r runner.Result)) []runner.Result {
+	rn := &runner.Runner{Workers: workers, OnProgress: onProgress}
+	return rn.Run(g.Expand(), RunScenario)
+}

@@ -136,13 +136,11 @@ func Table1(seed int64, quick bool) []Table1Row {
 	if quick {
 		dur = 40 * sim.Second
 	}
-	var out []Table1Row
-	for _, c := range table1Cases {
-		row := RunTable1Case(c.name, seed, dur)
-		row.PaperSays = c.paper
-		out = append(out, row)
-	}
-	return out
+	return mapCells(len(table1Cases), func(i int) Table1Row {
+		row := RunTable1Case(table1Cases[i].name, seed, dur)
+		row.PaperSays = table1Cases[i].paper
+		return row
+	})
 }
 
 // FormatTable1 renders the table.

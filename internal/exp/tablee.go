@@ -74,20 +74,30 @@ func TableE(seed int64, quick bool) []TableERow {
 		props = []sim.Time{50 * sim.Millisecond}
 		dur = 30 * sim.Second
 	}
-	var out []TableERow
+	type cell struct {
+		buf          float64
+		prop         sim.Time
+		aqm          string
+		pieTargetBDP float64
+		mix          string
+	}
+	var cells []cell
 	for _, mix := range mixes {
 		for _, prop := range props {
 			for _, b := range bufs {
-				out = append(out, RunTableECell(b, prop, "droptail", 0, mix, seed, dur))
+				cells = append(cells, cell{b, prop, "droptail", 0, mix})
 			}
 			// PIE at two target delays (0.25 and 1 BDP), 50 ms only.
 			if prop == 50*sim.Millisecond {
-				out = append(out, RunTableECell(4, prop, "pie", 0.25, mix, seed, dur))
-				out = append(out, RunTableECell(4, prop, "pie", 1, mix, seed, dur))
+				cells = append(cells, cell{4, prop, "pie", 0.25, mix})
+				cells = append(cells, cell{4, prop, "pie", 1, mix})
 			}
 		}
 	}
-	return out
+	return mapCells(len(cells), func(i int) TableERow {
+		c := cells[i]
+		return RunTableECell(c.buf, c.prop, c.aqm, c.pieTargetBDP, c.mix, seed, dur)
+	})
 }
 
 // FormatTableE renders the grid.

@@ -16,6 +16,12 @@ type Link struct {
 	OnDrop func(p *Packet, now sim.Time)
 
 	busy bool
+	// In-flight transmission state: the link serializes one packet at a
+	// time, so a single slot plus a reusable completion callback avoids a
+	// closure allocation per packet on the hottest path in the simulator.
+	txPkt  *Packet
+	txTime sim.Time
+	txDone func()
 
 	DeliveredPackets uint64
 	DeliveredBytes   uint64
@@ -26,7 +32,9 @@ type Link struct {
 
 // NewLink returns a link draining q at rateBps.
 func NewLink(sch *sim.Scheduler, rateBps float64, q Queue) *Link {
-	return &Link{Sch: sch, RateBps: rateBps, Q: q}
+	l := &Link{Sch: sch, RateBps: rateBps, Q: q}
+	l.txDone = l.finishTx
+	return l
 }
 
 // TxTime returns the serialization time of a packet of n bytes.
@@ -59,15 +67,21 @@ func (l *Link) startNext() {
 	l.busy = true
 	l.lastStart = now
 	tx := l.TxTime(p.Size)
-	l.Sch.After(tx, func() {
-		l.busyTime += tx
-		l.DeliveredPackets++
-		l.DeliveredBytes += uint64(p.Size)
-		if l.Deliver != nil {
-			l.Deliver(p, l.Sch.Now())
-		}
-		l.startNext()
-	})
+	l.txPkt = p
+	l.txTime = tx
+	l.Sch.AfterFunc(tx, l.txDone)
+}
+
+func (l *Link) finishTx() {
+	p, tx := l.txPkt, l.txTime
+	l.txPkt = nil
+	l.busyTime += tx
+	l.DeliveredPackets++
+	l.DeliveredBytes += uint64(p.Size)
+	if l.Deliver != nil {
+		l.Deliver(p, l.Sch.Now())
+	}
+	l.startNext()
 }
 
 // Busy reports whether a packet is currently being transmitted.

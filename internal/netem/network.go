@@ -36,6 +36,9 @@ type Attachment struct {
 	Dropped func(p *Packet, now sim.Time)
 
 	net *Network
+	// toLink is the reusable forward-path arrival callback; building it
+	// once per attachment keeps Send free of per-packet closures.
+	toLink func(arg any)
 }
 
 // NewNetwork builds a network around the given bottleneck link.
@@ -59,6 +62,7 @@ func (n *Network) Attach(rtt sim.Time) *Attachment {
 func (n *Network) AttachAsym(fwd, rev sim.Time) *Attachment {
 	n.next++
 	a := &Attachment{ID: n.next, FwdDelay: fwd, RevDelay: rev, net: n}
+	a.toLink = func(arg any) { a.net.Link.Send(arg.(*Packet)) }
 	n.flows[a.ID] = a
 	return a
 }
@@ -72,14 +76,22 @@ func (n *Network) Detach(id FlowID) { delete(n.flows, id) }
 func (a *Attachment) Send(p *Packet) {
 	p.Flow = a.ID
 	p.SentAt = a.net.Sch.Now()
-	a.net.Sch.After(a.FwdDelay, func() { a.net.Link.Send(p) })
+	a.net.Sch.AfterArg(a.FwdDelay, a.toLink, p)
 }
 
 // SendAck schedules fn at the sender after the reverse propagation delay.
 // Transports use it to deliver ACK information; the reverse path is
 // uncongested per the paper's model.
 func (a *Attachment) SendAck(fn func(now sim.Time)) {
-	a.net.Sch.After(a.RevDelay, func() { fn(a.net.Sch.Now()) })
+	a.net.Sch.AfterFunc(a.RevDelay, func() { fn(a.net.Sch.Now()) })
+}
+
+// SendAckArg schedules fn(arg) after the reverse propagation delay. The
+// argument rides on the event itself, so transports can reuse one callback
+// and a pooled record for every ACK instead of capturing per-packet state
+// in a fresh closure.
+func (a *Attachment) SendAckArg(fn func(arg any), arg any) {
+	a.net.Sch.AfterArg(a.RevDelay, fn, arg)
 }
 
 func (n *Network) deliver(p *Packet, now sim.Time) {

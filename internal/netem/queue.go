@@ -12,36 +12,54 @@ type Queue interface {
 	Len() int
 }
 
-// fifo is the common FIFO storage used by all queue disciplines.
+// fifo is the common FIFO storage used by all queue disciplines: a ring
+// buffer with power-of-two capacity, so steady-state enqueue/dequeue does
+// no copying and no allocation once the ring has grown to the working set.
 type fifo struct {
-	pkts  []*Packet
-	head  int
+	ring  []*Packet // len(ring) is a power of two (or zero before first push)
+	head  int       // index of the oldest packet
+	count int
 	bytes int
 }
 
 func (q *fifo) push(p *Packet) {
-	q.pkts = append(q.pkts, p)
+	if q.count == len(q.ring) {
+		q.grow()
+	}
+	q.ring[(q.head+q.count)&(len(q.ring)-1)] = p
+	q.count++
 	q.bytes += p.Size
 }
 
+func (q *fifo) grow() {
+	n := len(q.ring) * 2
+	if n == 0 {
+		n = 64
+	}
+	next := make([]*Packet, n)
+	for i := 0; i < q.count; i++ {
+		next[i] = q.ring[(q.head+i)&(len(q.ring)-1)]
+	}
+	q.ring = next
+	q.head = 0
+}
+
 func (q *fifo) pop() *Packet {
-	if q.head >= len(q.pkts) {
+	if q.count == 0 {
 		return nil
 	}
-	p := q.pkts[q.head]
-	q.pkts[q.head] = nil
-	q.head++
+	p := q.ring[q.head]
+	q.ring[q.head] = nil
+	q.head = (q.head + 1) & (len(q.ring) - 1)
+	q.count--
 	q.bytes -= p.Size
-	// Compact occasionally so the slice does not grow without bound.
-	if q.head > 1024 && q.head*2 >= len(q.pkts) {
-		n := copy(q.pkts, q.pkts[q.head:])
-		q.pkts = q.pkts[:n]
-		q.head = 0
-	}
 	return p
 }
 
-func (q *fifo) len() int    { return len(q.pkts) - q.head }
+// at returns the i-th queued packet (0 = head) without removing it.
+func (q *fifo) at(i int) *Packet { return q.ring[(q.head+i)&(len(q.ring)-1)] }
+
+func (q *fifo) len() int    { return q.count }
 func (q *fifo) queued() int { return q.bytes }
 
 // DropTail is a FIFO queue with a fixed byte capacity.
@@ -84,9 +102,9 @@ func (d *DropTail) BytesQueued() int { return d.q.queued() }
 // delay into self-inflicted and cross-traffic components (Fig. 3).
 func (d *DropTail) BytesForFlow(id FlowID) int {
 	total := 0
-	for i := d.q.head; i < len(d.q.pkts); i++ {
-		if d.q.pkts[i].Flow == id {
-			total += d.q.pkts[i].Size
+	for i := 0; i < d.q.len(); i++ {
+		if p := d.q.at(i); p.Flow == id {
+			total += p.Size
 		}
 	}
 	return total

@@ -1,0 +1,73 @@
+package runner
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// WriteJSON writes results as indented JSON.
+func WriteJSON(w io.Writer, rs []Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rs)
+}
+
+// WriteCSV writes results as CSV: one row per run, scenario fields first,
+// then the union of metric names in sorted order, then events and wall
+// time. Missing metrics render as empty cells.
+func WriteCSV(w io.Writer, rs []Result) error {
+	names := MetricNames(rs)
+	cw := csv.NewWriter(w)
+	header := []string{"name", "scheme", "rate_mbps", "rtt_ms", "buffer_ms", "aqm",
+		"cross", "cross_rate_mbps", "duration_sec", "seed"}
+	header = append(header, names...)
+	header = append(header, "events", "wall_sec", "err")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, r := range rs {
+		sc := r.Scenario
+		row := []string{sc.Name, sc.Scheme, g(sc.RateMbps), g(sc.RTTms), g(sc.BufferMs), sc.AQM,
+			sc.Cross, g(sc.CrossRateMbps), g(sc.DurationSec), strconv.FormatInt(sc.Seed, 10)}
+		for _, n := range names {
+			if v, ok := r.Metrics[n]; ok {
+				row = append(row, g(v))
+			} else {
+				row = append(row, "")
+			}
+		}
+		row = append(row, strconv.FormatUint(r.Events, 10), g(r.WallSec), r.Err)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFile writes results to path, choosing the format from the
+// extension (".csv" → CSV, anything else → JSON).
+func WriteFile(path string, rs []Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".csv") {
+		err = WriteCSV(f, rs)
+	} else {
+		err = WriteJSON(f, rs)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("runner: writing %s: %w", path, err)
+	}
+	return nil
+}

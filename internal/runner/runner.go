@@ -1,0 +1,115 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultWorkers is the worker count used when a Runner (or Map) is given
+// zero: one worker per CPU.
+func DefaultWorkers() int { return runtime.NumCPU() }
+
+// Map runs f(i) for i in [0,n) on a pool of workers and returns the
+// results indexed by i. Results are identical to a sequential loop as long
+// as f is self-contained (every experiment cell builds its own scheduler
+// and random streams, so they are). workers <= 1 runs inline, 0 means
+// DefaultWorkers. This is the engine's core primitive: the declarative
+// Scenario path and the hand-written figure grids both go through it.
+func Map[T any](workers, n int, f func(i int) T) []T {
+	out := make([]T, n)
+	if workers == 0 {
+		workers = DefaultWorkers()
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = f(i)
+		}
+		return out
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = f(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// RunFunc executes one scenario and reports its structured result.
+// internal/exp provides the standard implementation (exp.RunScenario);
+// the indirection keeps this package free of a dependency on the
+// experiment layer.
+type RunFunc func(sc Scenario) Result
+
+// Runner executes scenarios on a worker pool.
+type Runner struct {
+	// Workers is the pool size; 0 means DefaultWorkers, 1 is sequential.
+	Workers int
+	// OnProgress, if set, is called after each completed run with the
+	// number done, the total, and the result. Calls are serialized but
+	// arrive in completion order, not submission order.
+	OnProgress func(done, total int, r Result)
+}
+
+// Run executes every scenario through run and returns results in
+// submission order, regardless of worker count or completion order.
+func (rn *Runner) Run(scs []Scenario, run RunFunc) []Result {
+	var mu sync.Mutex
+	done := 0
+	return Map(rn.Workers, len(scs), func(i int) Result {
+		start := time.Now()
+		r := runGuarded(run, scs[i])
+		if r.WallSec == 0 {
+			r.WallSec = time.Since(start).Seconds()
+		}
+		if rn.OnProgress != nil {
+			mu.Lock()
+			done++
+			rn.OnProgress(done, len(scs), r)
+			mu.Unlock()
+		}
+		return r
+	})
+}
+
+// runGuarded converts a panicking scenario (unknown scheme, bad AQM) into
+// an error row instead of tearing down the whole sweep.
+func runGuarded(run RunFunc, sc Scenario) (r Result) {
+	defer func() {
+		if p := recover(); p != nil {
+			r = Result{Scenario: sc, Err: fmt.Sprint(p)}
+		}
+	}()
+	return run(sc)
+}
+
+// Progress returns an OnProgress callback that writes one status line per
+// completed run to w (typically os.Stderr).
+func Progress(w io.Writer) func(done, total int, r Result) {
+	start := time.Now()
+	return func(done, total int, r Result) {
+		status := fmt.Sprintf("%.1fs", r.WallSec)
+		if r.Err != "" {
+			status = "ERROR: " + r.Err
+		}
+		fmt.Fprintf(w, "[%3d/%3d %6.1fs] %-40s %s\n",
+			done, total, time.Since(start).Seconds(), r.Scenario.Name, status)
+	}
+}

@@ -1,0 +1,233 @@
+// Package runner is the parallel experiment engine: a declarative
+// Scenario spec with grid-sweep expansion, and a worker pool that executes
+// scenarios across goroutines while keeping results byte-identical to a
+// sequential run. Each simulation is single-threaded-deterministic by
+// design (internal/sim), which makes sweeps embarrassingly parallel: the
+// engine's only job is to hand every run an isolated random stream, fan
+// the runs out, and reassemble results in submission order.
+package runner
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nimbus/internal/sim"
+)
+
+// Scenario is a declarative description of one simulation run on the
+// single-bottleneck topology: the link, the scheme under test, the cross
+// traffic it competes with, and the horizon. New workloads are data, not
+// code — build Scenario values (directly or via Grid) and hand them to a
+// Runner.
+type Scenario struct {
+	// Name labels the scenario in results; Grid.Expand derives it from
+	// the swept fields when empty.
+	Name string `json:"name"`
+
+	// Bottleneck.
+	RateMbps    float64 `json:"rate_mbps"`
+	RTTms       float64 `json:"rtt_ms"`
+	BufferMs    float64 `json:"buffer_ms"`
+	AQM         string  `json:"aqm,omitempty"` // droptail (default), pie, codel
+	PIETargetMs float64 `json:"pie_target_ms,omitempty"`
+
+	// Scheme under test (internal/exp.NewScheme names).
+	Scheme string `json:"scheme"`
+
+	// Cross traffic (internal/exp.AddCross kinds) and its offered rate.
+	Cross         string  `json:"cross,omitempty"`
+	CrossRateMbps float64 `json:"cross_rate_mbps,omitempty"`
+	CrossRTTms    float64 `json:"cross_rtt_ms,omitempty"`
+
+	DurationSec float64 `json:"duration_sec"`
+	// Seed is the seed the user asked for (what names and result rows
+	// report). RunSeed, when non-zero, is what the simulation actually
+	// uses: Grid.Expand derives it from the scenario's own parameters so
+	// every cell of a sweep gets an isolated random stream.
+	Seed    int64 `json:"seed"`
+	RunSeed int64 `json:"run_seed,omitempty"`
+}
+
+// EffectiveSeed returns the seed the simulation should run with.
+func (s Scenario) EffectiveSeed() int64 {
+	if s.RunSeed != 0 {
+		return s.RunSeed
+	}
+	return s.Seed
+}
+
+// Key returns a canonical one-line encoding of every parameter. It is the
+// label fed to sim.DeriveSeed, so two scenarios differing in any field get
+// independent random streams, and the same scenario always gets the same
+// stream no matter where in a sweep it appears.
+func (s Scenario) Key() string {
+	return fmt.Sprintf("rate=%g/rtt=%g/buf=%g/aqm=%s/pie=%g/scheme=%s/cross=%s:%g@%g/dur=%g/seed=%d",
+		s.RateMbps, s.RTTms, s.BufferMs, s.AQM, s.PIETargetMs, s.Scheme,
+		s.Cross, s.CrossRateMbps, s.CrossRTTms, s.DurationSec, s.Seed)
+}
+
+// label is the human-readable name Grid.Expand assigns, listing only the
+// fields that vary.
+func (s Scenario) label(varying []string) string {
+	parts := make([]string, 0, len(varying))
+	for _, f := range varying {
+		switch f {
+		case "rate":
+			parts = append(parts, fmt.Sprintf("rate=%g", s.RateMbps))
+		case "rtt":
+			parts = append(parts, fmt.Sprintf("rtt=%g", s.RTTms))
+		case "buf":
+			parts = append(parts, fmt.Sprintf("buf=%g", s.BufferMs))
+		case "aqm":
+			parts = append(parts, "aqm="+s.AQM)
+		case "scheme":
+			parts = append(parts, s.Scheme)
+		case "cross":
+			parts = append(parts, fmt.Sprintf("cross=%s:%g", s.Cross, s.CrossRateMbps))
+		case "seed":
+			parts = append(parts, fmt.Sprintf("seed=%d", s.Seed))
+		}
+	}
+	if len(parts) == 0 {
+		return s.Scheme
+	}
+	return strings.Join(parts, "/")
+}
+
+// Cross pairs a cross-traffic kind with its offered rate for sweeps.
+type Cross struct {
+	Kind     string  `json:"kind"`
+	RateMbps float64 `json:"rate_mbps"`
+}
+
+// Grid is a declarative sweep: the cartesian product of every non-empty
+// axis applied to a base scenario. Empty axes keep the base value.
+type Grid struct {
+	Base Scenario `json:"base"`
+
+	RatesMbps []float64 `json:"rates_mbps,omitempty"`
+	RTTsMs    []float64 `json:"rtts_ms,omitempty"`
+	BuffersMs []float64 `json:"buffers_ms,omitempty"`
+	AQMs      []string  `json:"aqms,omitempty"`
+	Schemes   []string  `json:"schemes,omitempty"`
+	Crosses   []Cross   `json:"crosses,omitempty"`
+	Seeds     []int64   `json:"seeds,omitempty"`
+}
+
+// Expand returns the scenarios of the grid in a stable order (outermost
+// axis first: scheme, cross, rate, rtt, buffer, aqm, seed). Every scenario
+// gets a per-run seed derived from its own parameters via sim.DeriveSeed,
+// so results do not depend on expansion order or worker count, and a Name
+// naming the varying axes.
+func (g Grid) Expand() []Scenario {
+	rates := g.RatesMbps
+	if len(rates) == 0 {
+		rates = []float64{g.Base.RateMbps}
+	}
+	rtts := g.RTTsMs
+	if len(rtts) == 0 {
+		rtts = []float64{g.Base.RTTms}
+	}
+	bufs := g.BuffersMs
+	if len(bufs) == 0 {
+		bufs = []float64{g.Base.BufferMs}
+	}
+	aqms := g.AQMs
+	if len(aqms) == 0 {
+		aqms = []string{g.Base.AQM}
+	}
+	schemes := g.Schemes
+	if len(schemes) == 0 {
+		schemes = []string{g.Base.Scheme}
+	}
+	crosses := g.Crosses
+	if len(crosses) == 0 {
+		crosses = []Cross{{Kind: g.Base.Cross, RateMbps: g.Base.CrossRateMbps}}
+	}
+	seeds := g.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{g.Base.Seed}
+	}
+
+	var varying []string
+	for _, v := range []struct {
+		name string
+		n    int
+	}{
+		{"scheme", len(schemes)}, {"cross", len(crosses)}, {"rate", len(rates)},
+		{"rtt", len(rtts)}, {"buf", len(bufs)}, {"aqm", len(aqms)}, {"seed", len(seeds)},
+	} {
+		if v.n > 1 {
+			varying = append(varying, v.name)
+		}
+	}
+
+	out := make([]Scenario, 0, len(schemes)*len(crosses)*len(rates)*len(rtts)*len(bufs)*len(aqms)*len(seeds))
+	for _, scheme := range schemes {
+		for _, cross := range crosses {
+			for _, rate := range rates {
+				for _, rtt := range rtts {
+					for _, buf := range bufs {
+						for _, aqm := range aqms {
+							for _, seed := range seeds {
+								sc := g.Base
+								sc.Scheme = scheme
+								sc.Cross = cross.Kind
+								sc.CrossRateMbps = cross.RateMbps
+								sc.RateMbps = rate
+								sc.RTTms = rtt
+								sc.BufferMs = buf
+								sc.AQM = aqm
+								sc.Seed = seed
+								sc.RunSeed = sim.DeriveSeed(seed, sc.Key())
+								if sc.Name == "" || sc.Name == g.Base.Name {
+									sc.Name = sc.label(varying)
+								}
+								out = append(out, sc)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Result is one structured row of a sweep.
+type Result struct {
+	Scenario Scenario `json:"scenario"`
+	// Metrics holds named measurements (mean_mbps, qdelay_p95_ms, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Events is the number of simulator events executed.
+	Events uint64 `json:"events"`
+	// WallSec is the host wall-clock time the run took.
+	WallSec float64 `json:"wall_sec"`
+	// Err is set when the run failed; Metrics is then nil.
+	Err string `json:"err,omitempty"`
+}
+
+// EventsPerSec returns simulator events per wall-clock second.
+func (r Result) EventsPerSec() float64 {
+	if r.WallSec <= 0 {
+		return 0
+	}
+	return float64(r.Events) / r.WallSec
+}
+
+// MetricNames returns the union of metric keys across results, sorted.
+func MetricNames(rs []Result) []string {
+	set := map[string]bool{}
+	for _, r := range rs {
+		for k := range r.Metrics {
+			set[k] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

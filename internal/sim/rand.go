@@ -30,6 +30,18 @@ func (r *Rand) Split(label string) *Rand {
 	return NewRand(int64(h))
 }
 
+// Int63 returns a uniform non-negative 63-bit sample.
+func (r *Rand) Int63() int64 { return r.r.Int63() }
+
+// DeriveSeed maps (base seed, label) to an independent per-run seed via
+// Rand.Split. The derivation builds a fresh root each call, so it depends
+// only on its inputs — never on how many other seeds were derived first.
+// The sweep engine uses it to give every scenario in a grid its own
+// isolated random stream regardless of worker scheduling order.
+func DeriveSeed(base int64, label string) int64 {
+	return NewRand(base).Split(label).Int63()
+}
+
 // Float64 returns a uniform sample in [0,1).
 func (r *Rand) Float64() float64 { return r.r.Float64() }
 

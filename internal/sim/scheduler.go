@@ -5,12 +5,22 @@ import "container/heap"
 // Timer is a handle to a scheduled event. Cancelling a Timer prevents its
 // callback from running; cancelling an already-fired or already-cancelled
 // timer is a no-op.
+//
+// Timers returned by At/After are owned by the caller and are never
+// recycled. Events scheduled through AtFunc/AfterFunc/AfterArg return no
+// handle; their Timer structs are pooled and reused by the scheduler, which
+// makes them allocation-free in steady state — that is the right API for
+// high-frequency fire-and-forget events (per-packet transmissions,
+// propagation delays, ACK deliveries).
 type Timer struct {
 	at        Time
 	seq       uint64
 	fn        func()
+	afn       func(arg any)
+	arg       any
 	cancelled bool
 	fired     bool
+	pooled    bool
 }
 
 // Cancel prevents the timer's callback from running.
@@ -25,6 +35,14 @@ func (t *Timer) Fired() bool { return t != nil && t.fired }
 
 // When returns the simulated time at which the timer fires.
 func (t *Timer) When() Time { return t.at }
+
+func (t *Timer) run() {
+	if t.fn != nil {
+		t.fn()
+	} else if t.afn != nil {
+		t.afn(t.arg)
+	}
+}
 
 type eventHeap []*Timer
 
@@ -49,14 +67,20 @@ func (h *eventHeap) Pop() interface{} {
 // Scheduler is a discrete-event scheduler. Events execute strictly in
 // timestamp order; events with equal timestamps execute in the order they
 // were scheduled. A Scheduler is not safe for concurrent use: the simulation
-// is single-threaded by design so results are deterministic.
+// is single-threaded by design so results are deterministic. Parallelism
+// lives one layer up, in internal/runner, which runs many independent
+// schedulers at once.
 type Scheduler struct {
 	now     Time
 	events  eventHeap
 	seq     uint64
 	stopped bool
+	free    []*Timer
 	// Executed counts events run, useful for progress reporting and tests.
 	Executed uint64
+	// PoolReuses counts pooled timers recycled from the free list
+	// (observable in tests; it stays zero if only At/After are used).
+	PoolReuses uint64
 }
 
 // NewScheduler returns a scheduler with the clock at time zero.
@@ -65,16 +89,43 @@ func NewScheduler() *Scheduler { return &Scheduler{} }
 // Now returns the current simulated time.
 func (s *Scheduler) Now() Time { return s.now }
 
-// At schedules fn to run at absolute time t. Scheduling in the past is a
-// programming error and panics, because it would silently reorder causality.
-func (s *Scheduler) At(t Time, fn func()) *Timer {
+func (s *Scheduler) schedule(t Time, fn func(), afn func(any), arg any, pooled bool) *Timer {
 	if t < s.now {
 		panic("sim: scheduling event in the past")
 	}
 	s.seq++
-	ev := &Timer{at: t, seq: s.seq, fn: fn}
+	var ev *Timer
+	if n := len(s.free); pooled && n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		s.PoolReuses++
+		*ev = Timer{at: t, seq: s.seq, fn: fn, afn: afn, arg: arg, pooled: true}
+	} else {
+		ev = &Timer{at: t, seq: s.seq, fn: fn, afn: afn, arg: arg, pooled: pooled}
+	}
 	heap.Push(&s.events, ev)
 	return ev
+}
+
+// release returns a pooled timer to the free list once the scheduler is
+// done with it (fired or discarded while cancelled). Caller-owned timers
+// are left for the garbage collector because the caller may still hold the
+// handle.
+func (s *Scheduler) release(ev *Timer) {
+	if !ev.pooled {
+		return
+	}
+	ev.fn = nil
+	ev.afn = nil
+	ev.arg = nil
+	s.free = append(s.free, ev)
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past is a
+// programming error and panics, because it would silently reorder causality.
+func (s *Scheduler) At(t Time, fn func()) *Timer {
+	return s.schedule(t, fn, nil, nil, false)
 }
 
 // After schedules fn to run d after the current time.
@@ -85,9 +136,37 @@ func (s *Scheduler) After(d Time, fn func()) *Timer {
 	return s.At(s.now+d, fn)
 }
 
+// AtFunc schedules fn at absolute time t with no handle: the event cannot
+// be cancelled, and its Timer is pooled.
+func (s *Scheduler) AtFunc(t Time, fn func()) {
+	s.schedule(t, fn, nil, nil, true)
+}
+
+// AfterFunc schedules fn to run d after the current time with no handle.
+func (s *Scheduler) AfterFunc(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.schedule(s.now+d, fn, nil, nil, true)
+}
+
+// AfterArg schedules fn(arg) to run d after the current time with no
+// handle. Passing the argument through the event (instead of capturing it)
+// lets callers reuse one fn for every packet, so the per-event cost is
+// zero allocations in steady state.
+func (s *Scheduler) AfterArg(d Time, fn func(arg any), arg any) {
+	if d < 0 {
+		d = 0
+	}
+	s.schedule(s.now+d, nil, fn, arg, true)
+}
+
 // Pending returns the number of events currently queued (including
 // cancelled events not yet discarded).
 func (s *Scheduler) Pending() int { return len(s.events) }
+
+// FreeTimers returns the current size of the timer free list (tests).
+func (s *Scheduler) FreeTimers() int { return len(s.free) }
 
 // Stop halts Run/RunUntil after the current event completes.
 func (s *Scheduler) Stop() { s.stopped = true }
@@ -97,12 +176,14 @@ func (s *Scheduler) step() bool {
 	for len(s.events) > 0 {
 		ev := heap.Pop(&s.events).(*Timer)
 		if ev.cancelled {
+			s.release(ev)
 			continue
 		}
 		s.now = ev.at
 		ev.fired = true
 		s.Executed++
-		ev.fn()
+		ev.run()
+		s.release(ev)
 		return true
 	}
 	return false
@@ -122,7 +203,7 @@ func (s *Scheduler) RunUntil(end Time) {
 	for !s.stopped {
 		// Peek at the earliest non-cancelled event.
 		for len(s.events) > 0 && s.events[0].cancelled {
-			heap.Pop(&s.events)
+			s.release(heap.Pop(&s.events).(*Timer))
 		}
 		if len(s.events) == 0 || s.events[0].at > end {
 			break

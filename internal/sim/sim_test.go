@@ -135,6 +135,89 @@ func TestSchedulerStop(t *testing.T) {
 	}
 }
 
+func TestSchedulerTimerPoolReuse(t *testing.T) {
+	s := NewScheduler()
+	// Fire a pooled event; its Timer must land on the free list.
+	ran := 0
+	s.AfterFunc(Millisecond, func() { ran++ })
+	s.Run()
+	if ran != 1 {
+		t.Fatalf("pooled event ran %d times, want 1", ran)
+	}
+	if s.FreeTimers() != 1 {
+		t.Fatalf("free list has %d timers after fire, want 1", s.FreeTimers())
+	}
+	// The next pooled event must reuse it rather than allocate.
+	s.AfterArg(Millisecond, func(arg any) { ran += arg.(int) }, 2)
+	if s.FreeTimers() != 0 {
+		t.Fatalf("free list has %d timers after reschedule, want 0", s.FreeTimers())
+	}
+	s.Run()
+	if ran != 3 || s.PoolReuses != 1 {
+		t.Fatalf("ran=%d reuses=%d, want 3 and 1", ran, s.PoolReuses)
+	}
+}
+
+func TestSchedulerPoolCancelLifecycle(t *testing.T) {
+	// Cancelled caller-owned timers are discarded but never recycled: the
+	// caller still holds the handle, so recycling would let a stale Cancel
+	// kill an unrelated future event. Pooled events interleaved with them
+	// must keep firing in order.
+	s := NewScheduler()
+	var order []int
+	tm := s.At(2*Millisecond, func() { order = append(order, -1) })
+	s.AtFunc(1*Millisecond, func() { order = append(order, 1) })
+	s.AtFunc(3*Millisecond, func() { order = append(order, 3) })
+	tm.Cancel()
+	s.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 3 {
+		t.Fatalf("order = %v, want [1 3]", order)
+	}
+	if tm.Fired() {
+		t.Fatal("cancelled timer reports fired")
+	}
+	// Both pooled timers recycled; the cancelled caller-owned one is not.
+	if s.FreeTimers() != 2 {
+		t.Fatalf("free list = %d, want 2", s.FreeTimers())
+	}
+	// A stale Cancel on the fired handle must not disturb future events.
+	tm.Cancel()
+	fired := false
+	s.AfterFunc(Millisecond, func() { fired = true })
+	s.Run()
+	if !fired {
+		t.Fatal("event after stale Cancel did not fire")
+	}
+}
+
+func TestSchedulerPooledSteadyStateAllocs(t *testing.T) {
+	s := NewScheduler()
+	// Warm the pool.
+	s.AfterFunc(0, func() {})
+	s.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.AfterFunc(Microsecond, func() {})
+		s.Run()
+	})
+	if allocs > 0.1 {
+		t.Fatalf("pooled scheduling allocates %.2f/op, want 0", allocs)
+	}
+}
+
+func TestDeriveSeedStable(t *testing.T) {
+	a := DeriveSeed(42, "rate=96/rtt=50")
+	b := DeriveSeed(42, "rate=96/rtt=50")
+	if a != b {
+		t.Fatal("DeriveSeed not deterministic")
+	}
+	if DeriveSeed(42, "rate=96/rtt=100") == a {
+		t.Fatal("DeriveSeed ignores label")
+	}
+	if DeriveSeed(43, "rate=96/rtt=50") == a {
+		t.Fatal("DeriveSeed ignores base seed")
+	}
+}
+
 func TestRandDeterminism(t *testing.T) {
 	a, b := NewRand(42), NewRand(42)
 	for i := 0; i < 100; i++ {

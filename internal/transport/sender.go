@@ -22,6 +22,18 @@ type pktRec struct {
 	dup    int
 }
 
+// ackRec carries one delivered packet's ACK state across the reverse
+// propagation delay. Records are pooled per sender so the per-ACK cost is
+// allocation-free; the pooled record rides on the scheduler event as its
+// argument instead of being captured in a fresh closure.
+type ackRec struct {
+	seq       uint64
+	size      int
+	sentAt    sim.Time
+	qd        sim.Time
+	delivered uint64
+}
+
 // Sender is a transport endpoint: it emits MSS-sized packets subject to
 // the controller's window and pacing rate, tracks ACKs, declares losses
 // via dup-ACK counting and an RTO, and reports everything to the
@@ -50,6 +62,13 @@ type Sender struct {
 
 	stopped bool
 
+	// Reusable callbacks and free lists for the per-packet hot path.
+	trySendFn func()
+	onRTOFn   func()
+	onAckFn   func(arg any)
+	ackFree   []*ackRec
+	recFree   []*pktRec
+
 	// Counters and hooks.
 	SentBytes      uint64
 	DeliveredBytes uint64
@@ -74,6 +93,9 @@ func NewSender(net *netem.Network, rtt sim.Time, cc Controller, app Source, rng 
 		rto: 1 * sim.Second,
 	}
 	s.env = Env{Sch: net.Sch, Rand: rng, MSS: s.mss, ID: att.ID, Sender: s}
+	s.trySendFn = s.trySend
+	s.onRTOFn = s.onRTO
+	s.onAckFn = s.onAckEvent
 	att.Receive = s.onDeliver
 	if ch, ok := app.(*ChunkSource); ok {
 		ch.Wake = s.Wake
@@ -102,7 +124,7 @@ func (s *Sender) Attachment() *netem.Attachment { return s.att }
 // Start initializes the controller and begins transmission at time start.
 func (s *Sender) Start(start sim.Time) {
 	s.cc.Init(&s.env)
-	s.env.Sch.At(start, func() { s.trySend() })
+	s.env.Sch.At(start, s.trySendFn)
 }
 
 // Stop halts transmission and cancels timers. In-flight packets drain but
@@ -168,7 +190,15 @@ func (s *Sender) emit(size int) {
 	now := s.env.Sch.Now()
 	p := &netem.Packet{Seq: s.nextSeq, Size: size}
 	s.nextSeq++
-	s.unacked = append(s.unacked, &pktRec{seq: p.Seq, size: size, sentAt: now})
+	var r *pktRec
+	if n := len(s.recFree); n > 0 {
+		r = s.recFree[n-1]
+		s.recFree = s.recFree[:n-1]
+		*r = pktRec{seq: p.Seq, size: size, sentAt: now}
+	} else {
+		r = &pktRec{seq: p.Seq, size: size, sentAt: now}
+	}
+	s.unacked = append(s.unacked, r)
 	s.inflight += size
 	s.SentBytes += uint64(size)
 	s.app.Consume(size)
@@ -183,7 +213,7 @@ func (s *Sender) armPace(at sim.Time) {
 		return
 	}
 	s.paceTimer.Cancel()
-	s.paceTimer = s.env.Sch.At(at, func() { s.trySend() })
+	s.paceTimer = s.env.Sch.At(at, s.trySendFn)
 }
 
 // KickPacing clears any pending pacing gap so a rate increase takes
@@ -202,7 +232,7 @@ func (s *Sender) armRTO() {
 	if d > maxRTO {
 		d = maxRTO
 	}
-	s.rtoTimer = s.env.Sch.After(d, s.onRTO)
+	s.rtoTimer = s.env.Sch.After(d, s.onRTOFn)
 }
 
 func (s *Sender) onRTO() {
@@ -240,12 +270,23 @@ func (s *Sender) onDeliver(p *netem.Packet, now sim.Time) {
 	if s.OnDeliverHook != nil {
 		s.OnDeliverHook(p, now)
 	}
-	delivered := s.DeliveredBytes
-	qd := p.QueueDelay
-	seq, size, sentAt := p.Seq, p.Size, p.SentAt
-	s.att.SendAck(func(ackNow sim.Time) {
-		s.handleAck(seq, size, sentAt, qd, delivered, ackNow)
-	})
+	var rec *ackRec
+	if n := len(s.ackFree); n > 0 {
+		rec = s.ackFree[n-1]
+		s.ackFree = s.ackFree[:n-1]
+	} else {
+		rec = &ackRec{}
+	}
+	*rec = ackRec{seq: p.Seq, size: p.Size, sentAt: p.SentAt, qd: p.QueueDelay, delivered: s.DeliveredBytes}
+	s.att.SendAckArg(s.onAckFn, rec)
+}
+
+// onAckEvent runs at the sender when an ACK arrives on the reverse path.
+func (s *Sender) onAckEvent(arg any) {
+	rec := arg.(*ackRec)
+	r := *rec
+	s.ackFree = append(s.ackFree, rec)
+	s.handleAck(r.seq, r.size, r.sentAt, r.qd, r.delivered, s.env.Sch.Now())
 }
 
 func (s *Sender) handleAck(seq uint64, size int, sentAt, qd sim.Time, delivered uint64, now sim.Time) {
@@ -256,7 +297,14 @@ func (s *Sender) handleAck(seq uint64, size int, sentAt, qd sim.Time, delivered 
 	s.updateRTT(rtt)
 	s.rtoBackoff = 0
 
-	var losses []*pktRec
+	// Loss notifications are snapshotted by value: compact() below may
+	// recycle the underlying pktRecs into recFree, and Refund can
+	// re-enter emit (via Wake), which would overwrite them mid-loop.
+	type lossEntry struct {
+		seq  uint64
+		size int
+	}
+	var losses []lossEntry
 	found := false
 	for i := s.head; i < len(s.unacked); i++ {
 		r := s.unacked[i]
@@ -280,16 +328,16 @@ func (s *Sender) handleAck(seq uint64, size int, sentAt, qd sim.Time, delivered 
 				r.lost = true
 				s.inflight -= r.size
 				s.LostPackets++
-				losses = append(losses, r)
+				losses = append(losses, lossEntry{r.seq, r.size})
 			}
 		}
 	}
 	_ = found
 	s.compact()
 
-	for _, r := range losses {
-		s.app.Refund(r.size)
-		s.cc.OnLoss(LossInfo{Seq: r.seq, Bytes: r.size, Now: now, Inflight: s.inflight})
+	for _, l := range losses {
+		s.app.Refund(l.size)
+		s.cc.OnLoss(LossInfo{Seq: l.seq, Bytes: l.size, Now: now, Inflight: s.inflight})
 	}
 	ai := AckInfo{
 		Seq:        seq,
@@ -340,6 +388,7 @@ func (s *Sender) compact() {
 		if !r.acked && !r.lost {
 			break
 		}
+		s.recFree = append(s.recFree, r)
 		s.unacked[s.head] = nil
 		s.head++
 	}
