@@ -56,6 +56,7 @@ func BenchmarkFig25(b *testing.B)  { benchExperiment(b, "fig25") }
 func BenchmarkFig26(b *testing.B)  { benchExperiment(b, "fig26") }
 func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
 func BenchmarkTableE(b *testing.B) { benchExperiment(b, "tableE") }
+func BenchmarkMobile(b *testing.B) { benchExperiment(b, "mobile") }
 
 // Micro-benchmarks of the hot paths.
 

@@ -5,10 +5,16 @@
 // frequencies can be tested at once; they are analyzed in parallel on
 // -workers cores.
 //
+// Instead of stdin, -link-trace resamples a capacity trace (an embedded
+// netem trace name or a time_ms,mbps file) at -interval and analyzes
+// that — a quick check of whether a path's rate variation itself looks
+// elastic to the detector.
+//
 // Usage:
 //
 //	elasticity -fp 5 -interval 10ms < zseries.csv
 //	elasticity -fp 5,2,1 -workers 4 < zseries.csv
+//	elasticity -fp 5 -link-trace cell-ramp -trace-dur 60s
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"time"
 
 	"nimbus/internal/core"
+	"nimbus/internal/netem"
 	"nimbus/internal/runner"
 	"nimbus/internal/sim"
 )
@@ -32,6 +39,8 @@ func main() {
 		window   = flag.Duration("window", 5*time.Second, "FFT window")
 		thresh   = flag.Float64("threshold", 2, "elasticity threshold")
 		workers  = flag.Int("workers", 0, "parallel analyses (0 = all cores)")
+		trace    = flag.String("link-trace", "", "analyze a capacity trace (embedded name or time_ms,mbps file) instead of stdin")
+		traceDur = flag.Duration("trace-dur", 60*time.Second, "how much of the (possibly looping) trace to resample with -link-trace")
 	)
 	flag.Parse()
 
@@ -42,7 +51,13 @@ func main() {
 		Threshold:      *thresh,
 	}
 
-	samples, err := readSamples(os.Stdin)
+	var samples []float64
+	var err error
+	if *trace != "" {
+		samples, err = traceSamples(*trace, cfg.SampleInterval, sim.FromDuration(*traceDur))
+	} else {
+		samples, err = readSamples(os.Stdin)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -87,6 +102,19 @@ func report(fp, eta, thresh float64) {
 		class = "ELASTIC"
 	}
 	fmt.Printf("eta(fp=%.1fHz) = %.3f  threshold = %.1f  =>  %s\n", fp, eta, thresh, class)
+}
+
+// traceSamples resamples a rate schedule at the detector's interval.
+func traceSamples(nameOrPath string, interval, dur sim.Time) ([]float64, error) {
+	s, err := netem.LoadTrace(nameOrPath)
+	if err != nil {
+		return nil, err
+	}
+	var out []float64
+	for t := sim.Time(0); t < dur; t += interval {
+		out = append(out, s.RateAt(t))
+	}
+	return out, nil
 }
 
 func readSamples(f *os.File) ([]float64, error) {

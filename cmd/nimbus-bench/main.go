@@ -7,7 +7,9 @@
 // Usage:
 //
 //	nimbus-bench -list
+//	nimbus-bench -list-traces
 //	nimbus-bench -run fig08 [-seed 1] [-full] [-workers 8]
+//	nimbus-bench -run mobile          # schemes x time-varying link traces
 //	nimbus-bench -run all -full
 //	nimbus-bench -benchmark [-bench-out BENCH_runner.json]
 package main
@@ -19,18 +21,20 @@ import (
 	"time"
 
 	"nimbus/internal/exp"
+	"nimbus/internal/netem"
 	"nimbus/internal/runner"
 )
 
 func main() {
 	var (
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		run      = flag.String("run", "", "experiment id to run (or \"all\")")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-		full     = flag.Bool("full", false, "run at the paper's full horizons (slower)")
-		workers  = flag.Int("workers", 0, "worker pool size for experiment grids (0 = all cores, 1 = sequential)")
-		bench    = flag.Bool("benchmark", false, "run the canonical scenario sweep and report events/sec per scenario")
-		benchOut = flag.String("bench-out", "BENCH_runner.json", "where -benchmark writes its results (.json or .csv)")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		listTraces = flag.Bool("list-traces", false, "list embedded link capacity traces and exit")
+		run        = flag.String("run", "", "experiment id to run (or \"all\")")
+		seed       = flag.Int64("seed", 1, "simulation seed")
+		full       = flag.Bool("full", false, "run at the paper's full horizons (slower)")
+		workers    = flag.Int("workers", 0, "worker pool size for experiment grids (0 = all cores, 1 = sequential)")
+		bench      = flag.Bool("benchmark", false, "run the canonical scenario sweep and report events/sec per scenario")
+		benchOut   = flag.String("bench-out", "BENCH_runner.json", "where -benchmark writes its results (.json or .csv)")
 	)
 	flag.Parse()
 	exp.Workers = *workers
@@ -39,6 +43,17 @@ func main() {
 	case *list:
 		for _, id := range exp.IDs() {
 			fmt.Printf("%-8s %s\n", id, exp.Registry[id].Title)
+		}
+	case *listTraces:
+		for _, name := range netem.TraceNames() {
+			s, err := netem.LoadTrace(name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-12s %3d points, %5.1fs span, %5.1f-%5.1f Mbit/s (mean %5.1f)\n",
+				name, len(s.Points), s.Span().Seconds(),
+				s.MinBps()/1e6, s.MaxBps()/1e6, s.MeanBps(0, s.Span())/1e6)
 		}
 	case *bench:
 		runBenchmark(*seed, *workers, *benchOut)

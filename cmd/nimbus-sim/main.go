@@ -1,16 +1,23 @@
 // Command nimbus-sim runs scenarios on the emulated bottleneck. With
 // scalar flags it runs one scenario and prints a per-second trace plus a
 // summary — the quickest way to watch Nimbus (or any baseline) against a
-// chosen cross traffic mix. Any of -scheme, -rate, -rtt, -buf, -aqm,
-// -cross and -seed also accept comma-separated lists; the cartesian
-// product then runs as a parallel sweep on -workers cores and prints one
-// summary row per scenario (optionally written to -out as JSON or CSV).
+// chosen cross traffic mix. The bottleneck may be time-varying:
+// -link-trace names an embedded capacity trace (or a time_ms,mbps file)
+// and -rate-pattern applies a step/ramp/outage pattern to the nominal
+// rate. Any of -scheme, -rate, -rtt, -buf, -aqm, -cross, -link-trace,
+// -rate-pattern and -seed also accept comma-separated lists; the
+// cartesian product then runs as a parallel sweep on -workers cores and
+// prints one summary row per scenario (optionally written to -out as
+// JSON or CSV).
 //
 // Examples:
 //
 //	nimbus-sim -scheme nimbus -rate 96 -rtt 50ms -buf 100ms -cross cubic -dur 60s
 //	nimbus-sim -scheme nimbus,cubic,bbr -rate 48,96 -rtt 25ms,50ms,100ms \
 //	    -cross poisson -workers 8 -out sweep.csv
+//	nimbus-sim -scheme nimbus,bbr -link-trace cell-ramp,wifi-cafe,outage \
+//	    -cross poisson -cross-rate 4 -workers 8
+//	nimbus-sim -scheme nimbus -rate-pattern step:12:48:4000,outage:20000:5000 -dur 60s
 package main
 
 import (
@@ -33,6 +40,8 @@ func main() {
 		rtt     = flag.String("rtt", "50ms", "base RTT(s), comma-separated durations")
 		buf     = flag.String("buf", "100ms", "buffer depth(s) (time at link rate), comma-separated durations")
 		aqm     = flag.String("aqm", "droptail", "queue discipline(s): droptail, pie, codel; comma-separated")
+		trace   = flag.String("link-trace", "", "time-varying link capacity trace(s): embedded names (see nimbus-bench -list-traces) or time_ms,mbps files; comma-separated")
+		pattern = flag.String("rate-pattern", "", "time-varying link pattern(s): step:LO:HI:PERIODms, ramp:MIN:MAX:PERIODms, outage:ATms:DURms, constant; comma-separated")
 		cross   = flag.String("cross", "none", "cross traffic: none, cubic, reno, poisson, cbr, trace, video4k, video1080p")
 		crossMb = flag.Float64("cross-rate", 48, "cross traffic rate for poisson/cbr/trace, Mbit/s")
 		dur     = flag.Duration("dur", 60*time.Second, "simulated duration")
@@ -48,13 +57,15 @@ func main() {
 			CrossRateMbps: *crossMb,
 			DurationSec:   sim.FromDuration(*dur).Seconds(),
 		},
-		Schemes:   splitStrings(*scheme),
-		RatesMbps: parseFloats(*rate, "-rate"),
-		RTTsMs:    parseDurationsMs(*rtt, "-rtt"),
-		BuffersMs: parseDurationsMs(*buf, "-buf"),
-		AQMs:      splitStrings(*aqm),
-		Crosses:   crossList(*cross, *crossMb),
-		Seeds:     parseInts(*seed, "-seed"),
+		Schemes:      splitStrings(*scheme),
+		RatesMbps:    parseFloats(*rate, "-rate"),
+		LinkTraces:   splitStrings(*trace),
+		RatePatterns: splitStrings(*pattern),
+		RTTsMs:       parseDurationsMs(*rtt, "-rtt"),
+		BuffersMs:    parseDurationsMs(*buf, "-buf"),
+		AQMs:         splitStrings(*aqm),
+		Crosses:      crossList(*cross, *crossMb),
+		Seeds:        parseInts(*seed, "-seed"),
 	}
 	if len(grid.Schemes) == 0 {
 		fatalf("-scheme: no values given")

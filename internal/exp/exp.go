@@ -25,6 +25,11 @@ type NetConfig struct {
 	AQM       string   // "droptail" (default), "pie", "codel"
 	PIETarget sim.Time // PIE target delay (default 20 ms)
 	Seed      int64
+	// Schedule, when non-nil, makes the bottleneck capacity time-varying
+	// (traces, ramps, outages). RateMbps stays the nominal rate: buffer
+	// depth and the AQM drain-rate estimate are sized from it, the way a
+	// real deployment provisions for a nominal capacity.
+	Schedule *netem.RateSchedule
 }
 
 // Rig is an instantiated bottleneck network for one experiment run.
@@ -61,7 +66,11 @@ func NewRig(cfg NetConfig) *Rig {
 	default:
 		panic("exp: unknown AQM " + cfg.AQM)
 	}
-	link := netem.NewLink(sch, rate, q)
+	sched := cfg.Schedule
+	if sched == nil {
+		sched = netem.ConstantRate(rate)
+	}
+	link := netem.NewLinkSchedule(sch, sched, q)
 	return &Rig{
 		Sch:   sch,
 		Link:  link,
@@ -78,6 +87,10 @@ type SchemeOpts struct {
 	PulseFraction float64
 	// EstimateMu uses the BBR-style µ estimator instead of the oracle.
 	EstimateMu bool
+	// Mu, when non-nil, overrides the µ estimator entirely. Rigs with
+	// time-varying links pass a LinkOracle here: a fixed-rate oracle
+	// would hand Nimbus a stale µ the moment the capacity moves.
+	Mu core.MuEstimator
 	// MultiFlow enables the pulser/watcher protocol.
 	MultiFlow bool
 	// PulseFreq overrides fpc (and fpd when not multi-flow).
@@ -113,6 +126,9 @@ func NewScheme(name string, muBps float64, opts SchemeOpts) Scheme {
 	mu := core.MuEstimator(core.Oracle{Rate: muBps})
 	if opts.EstimateMu {
 		mu = core.NewMaxReceiveRate(0)
+	}
+	if opts.Mu != nil {
+		mu = opts.Mu
 	}
 	nimbusCfg := func(delay core.WindowCC, comp core.WindowCC, pinned bool, startMode core.Mode) Scheme {
 		if comp == nil {
@@ -177,6 +193,17 @@ func NewScheme(name string, muBps float64, opts SchemeOpts) Scheme {
 		panic("exp: unknown scheme " + name)
 	}
 }
+
+// LinkOracle is the time-varying analogue of core.Oracle: it reports the
+// link's instantaneous capacity as µ, for experiments that control for µ
+// estimation error on schedules where no single rate is "the" truth.
+type LinkOracle struct{ Link *netem.Link }
+
+// Observe is a no-op; the oracle reads the link directly.
+func (LinkOracle) Observe(sim.Time, float64) {}
+
+// Mu returns the link's current drain rate.
+func (o LinkOracle) Mu() float64 { return o.Link.Rate() }
 
 // SchemeNames lists the schemes most experiments compare.
 var SchemeNames = []string{"nimbus", "cubic", "bbr", "vegas", "copa", "vivace"}

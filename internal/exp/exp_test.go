@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"nimbus/internal/netem"
 	"nimbus/internal/runner"
 	"nimbus/internal/sim"
 )
@@ -14,7 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig01", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08",
 		"fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
 		"fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22",
-		"fig23", "fig24", "fig25", "fig26", "table1", "tableE",
+		"fig23", "fig24", "fig25", "fig26", "table1", "tableE", "mobile",
 	}
 	for _, id := range want {
 		if _, ok := Registry[id]; !ok {
@@ -177,7 +178,7 @@ func TestPaths25Properties(t *testing.T) {
 	if len(paths) != 25 {
 		t.Fatalf("got %d paths", len(paths))
 	}
-	policers := 0
+	policers, varying := 0, 0
 	names := map[string]bool{}
 	for _, p := range paths {
 		if names[p.Name] {
@@ -190,12 +191,21 @@ func TestPaths25Properties(t *testing.T) {
 		if p.Policer {
 			policers++
 		}
+		if p.Pattern != "" {
+			varying++
+			if _, err := netem.ParsePattern(p.Pattern, p.RateMbps*1e6); err != nil {
+				t.Fatalf("path %s has unparseable pattern %q: %v", p.Name, p.Pattern, err)
+			}
+		}
 	}
 	if policers == 0 {
 		t.Fatal("suite needs lossy/policed paths")
 	}
 	if policers > 12 {
 		t.Fatal("too many policed paths; Fig 19 needs paths with queueing")
+	}
+	if varying < 3 {
+		t.Fatalf("suite should include time-varying paths, got %d", varying)
 	}
 }
 

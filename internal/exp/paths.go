@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"nimbus/internal/netem"
 	"nimbus/internal/sim"
 	"nimbus/internal/stats"
 )
@@ -20,6 +21,10 @@ type PathProfile struct {
 	BgLoad    float64 // inelastic background as a fraction of the link
 	BgElastic int     // number of intermittent elastic background flows
 	Policer   bool    // shallow buffer => loss-limited path
+	// Pattern, when non-empty, makes the path's capacity time-varying
+	// (a netem.ParsePattern spec anchored at RateMbps), standing in for
+	// the last-mile paths whose capacity fluctuates during a transfer.
+	Pattern string
 }
 
 // Paths25 is the suite of 25 path profiles. The three named paths A/B/C
@@ -54,6 +59,15 @@ func Paths25() []PathProfile {
 		if i%3 == 1 {
 			p.BgElastic = 1
 		}
+		// A subset of non-policed paths fluctuates: alternating cellular-like
+		// ramps and Wi-Fi-like steps around the path's nominal rate.
+		if i%4 == 2 && !p.Policer {
+			if i%8 == 2 {
+				p.Pattern = fmt.Sprintf("ramp:%g:%g:8000", 0.3*rate, rate)
+			} else {
+				p.Pattern = fmt.Sprintf("step:%g:%g:6000", 0.4*rate, rate)
+			}
+		}
 		i++
 		out = append(out, p)
 	}
@@ -72,7 +86,15 @@ type PathRow struct {
 
 // RunPath runs one scheme over one path profile.
 func RunPath(p PathProfile, scheme string, seed int64, dur sim.Time) PathRow {
-	r := NewRig(NetConfig{RateMbps: p.RateMbps, RTT: p.RTT, Buffer: p.Buffer, Seed: seed})
+	cfg := NetConfig{RateMbps: p.RateMbps, RTT: p.RTT, Buffer: p.Buffer, Seed: seed}
+	if p.Pattern != "" {
+		sched, err := netem.ParsePattern(p.Pattern, p.RateMbps*1e6)
+		if err != nil {
+			panic("exp: path " + p.Name + ": " + err.Error())
+		}
+		cfg.Schedule = sched
+	}
+	r := NewRig(cfg)
 	// Real paths don't tell you µ: use the estimator, as the paper's
 	// implementation does.
 	sch := NewScheme(scheme, r.MuBps, SchemeOpts{EstimateMu: true})

@@ -13,8 +13,9 @@ type Experiment struct {
 	Run func(seed int64, quick bool) string
 }
 
-// Registry maps experiment ids ("fig01".."fig26", "table1", "tableE") to
-// their runners. cmd/nimbus-bench and the root benchmarks both use it.
+// Registry maps experiment ids ("fig01".."fig26", "table1", "tableE",
+// "mobile") to their runners. cmd/nimbus-bench and the root benchmarks
+// both use it.
 var Registry = map[string]Experiment{
 	"fig01": {"fig01", "Motivating comparison (Cubic / delay-control / Nimbus)",
 		func(seed int64, quick bool) string { return FormatFig01(Fig01(seed)) }},
@@ -66,6 +67,8 @@ var Registry = map[string]Experiment{
 		func(seed int64, quick bool) string { return FormatFig25(Fig25(seed, quick)) }},
 	"fig26": {"fig26", "Detecting PCC-Vivace via pulse frequency",
 		func(seed int64, quick bool) string { return FormatFig26(Fig26(seed, quick)) }},
+	"mobile": {"mobile", "Time-varying links: schemes x capacity-trace corpus",
+		func(seed int64, quick bool) string { return FormatMobile(Mobile(seed, quick)) }},
 	"table1": {"table1", "Classification by traffic class",
 		func(seed int64, quick bool) string { return FormatTable1(Table1(seed, quick)) }},
 	"tableE": {"tableE", "Buffer/RTT/AQM robustness",

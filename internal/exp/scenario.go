@@ -1,7 +1,11 @@
 package exp
 
 import (
+	"fmt"
+	"math"
+
 	"nimbus/internal/core"
+	"nimbus/internal/netem"
 	"nimbus/internal/runner"
 	"nimbus/internal/sim"
 )
@@ -31,13 +35,41 @@ func NetConfigFor(sc runner.Scenario) NetConfig {
 	}
 }
 
-// RigForScenario materializes a declarative scenario: the bottleneck, the
-// scheme under test as a backlogged flow with a probe, and the scenario's
-// cross traffic. The caller may attach extra instrumentation before
-// running the rig to sc.DurationSec.
+// ScheduleForScenario resolves the scenario's time-varying link axes into
+// a rate schedule: a named/loaded trace, a parsed pattern spec anchored
+// at the scenario's nominal rate, or nil for the constant link.
+func ScheduleForScenario(sc runner.Scenario) (*netem.RateSchedule, error) {
+	hasPattern := sc.RatePattern != "" && sc.RatePattern != "constant"
+	if sc.LinkTrace != "" && hasPattern {
+		return nil, fmt.Errorf("exp: scenario %q sets both LinkTrace (%s) and RatePattern (%s); pick one",
+			sc.Name, sc.LinkTrace, sc.RatePattern)
+	}
+	if sc.LinkTrace != "" {
+		return netem.LoadTrace(sc.LinkTrace)
+	}
+	if hasPattern {
+		return netem.ParsePattern(sc.RatePattern, sc.RateMbps*1e6)
+	}
+	return nil, nil
+}
+
+// RigForScenario materializes a declarative scenario: the bottleneck
+// (constant or time-varying), the scheme under test as a backlogged flow
+// with a probe, and the scenario's cross traffic. The caller may attach
+// extra instrumentation before running the rig to sc.DurationSec.
 func RigForScenario(sc runner.Scenario) (*Rig, Scheme, *FlowProbe, error) {
-	r := NewRig(NetConfigFor(sc))
-	scheme := NewScheme(sc.Scheme, r.MuBps, SchemeOpts{})
+	cfg := NetConfigFor(sc)
+	sched, err := ScheduleForScenario(sc)
+	if err != nil {
+		return nil, Scheme{}, nil, err
+	}
+	cfg.Schedule = sched
+	r := NewRig(cfg)
+	opts := SchemeOpts{}
+	if r.Link.Varying() {
+		opts.Mu = LinkOracle{Link: r.Link}
+	}
+	scheme := NewScheme(sc.Scheme, r.MuBps, opts)
 	rtt := sim.FromSeconds(sc.RTTms / 1e3)
 	probe := r.AddFlow(scheme, rtt, 0)
 	crossRTT := rtt
@@ -50,16 +82,33 @@ func RigForScenario(sc runner.Scenario) (*Rig, Scheme, *FlowProbe, error) {
 	return r, scheme, probe, nil
 }
 
+// CrossElastic reports whether a cross-traffic kind backs off under
+// congestion — the ground truth Nimbus's mode decision is scored against.
+func CrossElastic(kind string) bool {
+	switch kind {
+	case "cubic", "reno", "trace":
+		return true
+	}
+	return false // none, poisson, cbr, video*: inelastic (or no) cross traffic
+}
+
 // RunScenario is the standard runner.RunFunc: it materializes the
 // scenario, runs it to its horizon, and reports the measurements every
 // sweep wants — throughput, queueing delay, utilization, drops, and (for
-// Nimbus schemes) mode telemetry. The engine fills in wall time.
+// Nimbus schemes) mode telemetry including time-weighted mode accuracy
+// against the cross traffic's known elasticity. The engine fills in wall
+// time.
 func RunScenario(sc runner.Scenario) runner.Result {
 	r, scheme, probe, err := RigForScenario(sc)
 	if err != nil {
 		return runner.Result{Scenario: sc, Err: err.Error()}
 	}
 	end := sim.FromSeconds(sc.DurationSec)
+	var mt ModeTracker
+	if scheme.Nimbus != nil {
+		truth := CrossElastic(sc.Cross)
+		mt.Track(scheme.Nimbus, func(sim.Time) bool { return truth }, end/4)
+	}
 	r.Sch.RunUntil(end)
 
 	d := probe.Delay.Summary()
@@ -71,6 +120,14 @@ func RunScenario(sc runner.Scenario) runner.Result {
 		"utilization":     r.Link.Utilization(),
 		"dropped_packets": float64(r.Link.DroppedPackets),
 	}
+	// A run that delivers nothing (reachable on dark/outage schedules) has
+	// no delay samples and NaN summaries; drop non-finite values so one
+	// such cell cannot abort JSON emission for the whole sweep.
+	for k, v := range m {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			delete(m, k)
+		}
+	}
 	if scheme.Nimbus != nil {
 		m["mode_switches"] = float64(scheme.Nimbus.ModeSwitches)
 		m["eta"] = scheme.Nimbus.LastEta()
@@ -79,6 +136,7 @@ func RunScenario(sc runner.Scenario) runner.Result {
 			mode = 1
 		}
 		m["competitive_mode"] = mode
+		m["mode_accuracy"] = mt.Acc.Accuracy()
 	}
 	return runner.Result{Scenario: sc, Metrics: m, Events: r.Sch.Executed}
 }

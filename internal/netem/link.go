@@ -2,26 +2,47 @@ package netem
 
 import "nimbus/internal/sim"
 
-// Link models the bottleneck: it drains its Queue at RateBps and hands
-// completed packets to Deliver. It also keeps the counters the experiments
-// report (delivered bytes, drops, busy time for utilization).
+// Link models the bottleneck: it drains its Queue at the capacity its
+// RateSchedule prescribes and hands completed packets to Deliver. It also
+// keeps the counters the experiments report (delivered bytes, drops, busy
+// time for utilization).
+//
+// Rate changes are applied as scheduler events: the link registers one
+// event per schedule transition, and a packet in flight across a
+// transition finishes exactly when the integral of the rate over its
+// transmission interval reaches its size — serialization, busy-time, and
+// utilization accounting stay exact across transitions. A constant-rate
+// link (the common case) keeps the allocation-free fast path: pooled
+// no-handle completion events and no per-packet state beyond the slot.
 type Link struct {
-	Sch     *sim.Scheduler
-	RateBps float64 // bits per second
-	Q       Queue
+	Sch *sim.Scheduler
+	// Schedule is the capacity signal. Immutable after construction.
+	Schedule *RateSchedule
+	Q        Queue
 
 	// Deliver is called when a packet finishes transmission.
 	Deliver func(p *Packet, now sim.Time)
 	// OnDrop, if set, is called for packets rejected by the queue.
 	OnDrop func(p *Packet, now sim.Time)
 
+	rateBps float64 // current drain rate
+	varying bool    // whether Schedule has transitions
+
 	busy bool
 	// In-flight transmission state: the link serializes one packet at a
 	// time, so a single slot plus a reusable completion callback avoids a
 	// closure allocation per packet on the hottest path in the simulator.
 	txPkt  *Packet
-	txTime sim.Time
+	txTime sim.Time // constant path: serialization time of txPkt
 	txDone func()
+	// Varying path: remaining bits of txPkt and when they were last
+	// drained; the completion timer is cancellable because a rate change
+	// mid-packet reschedules it.
+	txBitsLeft float64
+	txUpdated  sim.Time
+	txTimer    *sim.Timer
+	txVarDone  func()
+	rateChange func()
 
 	DeliveredPackets uint64
 	DeliveredBytes   uint64
@@ -30,16 +51,41 @@ type Link struct {
 	lastStart        sim.Time
 }
 
-// NewLink returns a link draining q at rateBps.
+// NewLink returns a constant-rate link draining q at rateBps.
 func NewLink(sch *sim.Scheduler, rateBps float64, q Queue) *Link {
-	l := &Link{Sch: sch, RateBps: rateBps, Q: q}
+	return NewLinkSchedule(sch, ConstantRate(rateBps), q)
+}
+
+// NewLinkSchedule returns a link whose capacity follows the schedule.
+func NewLinkSchedule(sch *sim.Scheduler, schedule *RateSchedule, q Queue) *Link {
+	l := &Link{
+		Sch:      sch,
+		Schedule: schedule,
+		Q:        q,
+		rateBps:  schedule.RateAt(sch.Now()),
+		varying:  !schedule.Constant(),
+	}
 	l.txDone = l.finishTx
+	if l.varying {
+		l.txVarDone = l.finishVarTx
+		l.rateChange = l.applyRateChange
+		if next, ok := schedule.NextChange(sch.Now()); ok {
+			sch.AtFunc(next, l.rateChange)
+		}
+	}
 	return l
 }
 
-// TxTime returns the serialization time of a packet of n bytes.
+// Rate returns the link's current drain rate in bits/s.
+func (l *Link) Rate() float64 { return l.rateBps }
+
+// Varying reports whether the link's capacity changes over time.
+func (l *Link) Varying() bool { return l.varying }
+
+// TxTime returns the serialization time of a packet of n bytes at the
+// current rate (an instantaneous view; a varying link may revise it).
 func (l *Link) TxTime(n int) sim.Time {
-	return sim.FromSeconds(float64(n) * 8 / l.RateBps)
+	return sim.FromSeconds(float64(n) * 8 / l.rateBps)
 }
 
 // Send enqueues p, starting transmission if the link is idle.
@@ -66,10 +112,56 @@ func (l *Link) startNext() {
 	}
 	l.busy = true
 	l.lastStart = now
-	tx := l.TxTime(p.Size)
 	l.txPkt = p
-	l.txTime = tx
-	l.Sch.AfterFunc(tx, l.txDone)
+	if !l.varying {
+		tx := l.TxTime(p.Size)
+		l.txTime = tx
+		l.Sch.AfterFunc(tx, l.txDone)
+		return
+	}
+	l.txBitsLeft = float64(p.Size) * 8
+	l.txUpdated = now
+	l.armTx()
+}
+
+// armTx schedules the in-flight packet's completion at the current rate.
+// At rate zero (an outage) no completion is scheduled; the pending rate
+// change event re-arms when capacity returns.
+func (l *Link) armTx() {
+	if l.rateBps <= 0 {
+		l.txTimer = nil
+		return
+	}
+	l.txTimer = l.Sch.After(sim.FromSeconds(l.txBitsLeft/l.rateBps), l.txVarDone)
+}
+
+// applyRateChange is the scheduler event at every schedule transition: it
+// settles the in-flight packet's drained bits at the old rate, switches
+// to the new rate, reschedules the packet's completion, and registers the
+// next transition.
+func (l *Link) applyRateChange() {
+	now := l.Sch.Now()
+	newRate := l.Schedule.RateAt(now)
+	if newRate != l.rateBps {
+		if l.txPkt != nil {
+			l.txBitsLeft -= l.rateBps * (now - l.txUpdated).Seconds()
+			if l.txBitsLeft < 0 {
+				l.txBitsLeft = 0
+			}
+			l.txUpdated = now
+			if l.txTimer != nil {
+				l.txTimer.Cancel()
+				l.txTimer = nil
+			}
+			l.rateBps = newRate
+			l.armTx()
+		} else {
+			l.rateBps = newRate
+		}
+	}
+	if next, ok := l.Schedule.NextChange(now); ok {
+		l.Sch.AtFunc(next, l.rateChange)
+	}
 }
 
 func (l *Link) finishTx() {
@@ -80,6 +172,22 @@ func (l *Link) finishTx() {
 	l.DeliveredBytes += uint64(p.Size)
 	if l.Deliver != nil {
 		l.Deliver(p, l.Sch.Now())
+	}
+	l.startNext()
+}
+
+func (l *Link) finishVarTx() {
+	now := l.Sch.Now()
+	p := l.txPkt
+	l.txPkt = nil
+	l.txTimer = nil
+	// Busy time is the packet's wall occupancy of the link, including any
+	// stall while the rate was zero, so Utilization stays <= 1.
+	l.busyTime += now - l.lastStart
+	l.DeliveredPackets++
+	l.DeliveredBytes += uint64(p.Size)
+	if l.Deliver != nil {
+		l.Deliver(p, now)
 	}
 	l.startNext()
 }

@@ -120,14 +120,20 @@ func (n *Network) OnDeliver(f func(p *Packet, now sim.Time)) {
 	n.onDeliver = append(n.onDeliver, f)
 }
 
-// QueueDelayNow returns the current queueing delay implied by occupancy.
+// QueueDelayNow returns the current queueing delay implied by occupancy
+// at the link's current rate (0 during an outage, when no drain rate is
+// defined).
 func (n *Network) QueueDelayNow() sim.Time {
-	return sim.FromSeconds(float64(n.Link.Q.BytesQueued()) * 8 / n.Link.RateBps)
+	rate := n.Link.Rate()
+	if rate <= 0 {
+		return 0
+	}
+	return sim.FromSeconds(float64(n.Link.Q.BytesQueued()) * 8 / rate)
 }
 
 // String describes the network configuration.
 func (n *Network) String() string {
-	return fmt.Sprintf("bottleneck %.1f Mbit/s, %d flows", n.Link.RateBps/1e6, len(n.flows))
+	return fmt.Sprintf("bottleneck %.1f Mbit/s, %d flows", n.Link.Rate()/1e6, len(n.flows))
 }
 
 // Mbps converts bits/s to Mbit/s for reporting.

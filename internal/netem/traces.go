@@ -1,0 +1,74 @@
+package netem
+
+import (
+	"bytes"
+	"embed"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The embedded trace corpus: small, hand-written capacity traces in the
+// "time_ms,mbps" format that cover the qualitative regimes the paper's
+// emulated paths exercise (cellular rate ramps, Wi-Fi contention swings,
+// outage-and-recover).
+//
+//go:embed traces/*.csv
+var traceFS embed.FS
+
+// TraceNames lists the embedded capacity traces, sorted.
+func TraceNames() []string {
+	entries, err := traceFS.ReadDir("traces")
+	if err != nil {
+		return nil
+	}
+	out := make([]string, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, strings.TrimSuffix(e.Name(), ".csv"))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// traceCache memoizes parsed schedules: they are immutable and shared,
+// and a sweep resolves the same trace once per scenario from worker
+// goroutines, so each name/path should be read and parsed only once.
+var traceCache sync.Map // string -> *RateSchedule
+
+// LoadTrace resolves a trace by name from the embedded corpus, falling
+// back to reading nameOrPath as a trace file on disk. Results are cached
+// for the life of the process.
+func LoadTrace(nameOrPath string) (*RateSchedule, error) {
+	if s, ok := traceCache.Load(nameOrPath); ok {
+		return s.(*RateSchedule), nil
+	}
+	s, err := loadTraceUncached(nameOrPath)
+	if err != nil {
+		return nil, err
+	}
+	traceCache.Store(nameOrPath, s)
+	return s, nil
+}
+
+func loadTraceUncached(nameOrPath string) (*RateSchedule, error) {
+	if data, err := traceFS.ReadFile("traces/" + nameOrPath + ".csv"); err == nil {
+		s, err := ParseTrace(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("embedded trace %s: %w", nameOrPath, err)
+		}
+		return s, nil
+	}
+	f, err := os.Open(nameOrPath)
+	if err != nil {
+		return nil, fmt.Errorf("netem: trace %q is not embedded (have %v) and not readable: %w",
+			nameOrPath, TraceNames(), err)
+	}
+	defer f.Close()
+	s, err := ParseTrace(f)
+	if err != nil {
+		return nil, fmt.Errorf("trace file %s: %w", nameOrPath, err)
+	}
+	return s, nil
+}

@@ -1,0 +1,180 @@
+package netem
+
+import (
+	"math"
+	"testing"
+
+	"nimbus/internal/sim"
+)
+
+// TestVarLinkPacketSpansRateChange checks exact serialization across a
+// transition: a 1500 B packet (12000 bits) on a link that runs at
+// 12 Mbit/s for 0.5 ms and then drops to 6 Mbit/s. 6000 bits drain in
+// the first phase; the remaining 6000 bits take 1 ms at the new rate, so
+// delivery is at exactly 1.5 ms.
+func TestVarLinkPacketSpansRateChange(t *testing.T) {
+	sch := sim.NewScheduler()
+	s, err := NewRateSchedule([]RatePoint{{0, 12e6}, {500 * sim.Microsecond, 6e6}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := NewLinkSchedule(sch, s, NewDropTail(1<<20))
+	var deliveredAt sim.Time
+	link.Deliver = func(p *Packet, now sim.Time) { deliveredAt = now }
+	link.Send(&Packet{Size: 1500})
+	sch.Run()
+	want := 1500 * sim.Microsecond
+	if deliveredAt != want {
+		t.Fatalf("delivered at %v, want %v", deliveredAt, want)
+	}
+	if link.DeliveredBytes != 1500 {
+		t.Fatalf("bytes = %d", link.DeliveredBytes)
+	}
+}
+
+// TestVarLinkPacketSpansOutage: the same packet stalls through a
+// zero-rate window and resumes when capacity returns.
+func TestVarLinkPacketSpansOutage(t *testing.T) {
+	sch := sim.NewScheduler()
+	s, err := NewRateSchedule([]RatePoint{
+		{0, 12e6},
+		{500 * sim.Microsecond, 0},
+		{2500 * sim.Microsecond, 12e6},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := NewLinkSchedule(sch, s, NewDropTail(1<<20))
+	var deliveredAt sim.Time
+	link.Deliver = func(p *Packet, now sim.Time) { deliveredAt = now }
+	link.Send(&Packet{Size: 1500})
+	sch.Run()
+	// 6000 bits by 0.5 ms, stall until 2.5 ms, last 6000 bits by 3.0 ms.
+	want := 3 * sim.Millisecond
+	if deliveredAt != want {
+		t.Fatalf("delivered at %v, want %v", deliveredAt, want)
+	}
+	if u := link.Utilization(); u > 1.0+1e-9 {
+		t.Fatalf("utilization %v > 1 across an outage", u)
+	}
+}
+
+// TestVarLinkArrivalDuringOutage: a packet arriving at an idle, dark link
+// must wait for capacity, not divide by zero or complete instantly.
+func TestVarLinkArrivalDuringOutage(t *testing.T) {
+	sch := sim.NewScheduler()
+	s, err := NewRateSchedule([]RatePoint{{0, 0}, {2 * sim.Millisecond, 12e6}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := NewLinkSchedule(sch, s, NewDropTail(1<<20))
+	var deliveredAt sim.Time
+	link.Deliver = func(p *Packet, now sim.Time) { deliveredAt = now }
+	link.Send(&Packet{Size: 1500})
+	sch.Run()
+	want := 3 * sim.Millisecond // capacity at 2 ms + 1 ms serialization
+	if deliveredAt != want {
+		t.Fatalf("delivered at %v, want %v", deliveredAt, want)
+	}
+}
+
+// backlog fills the queue so the link never idles over the horizon.
+func backlog(link *Link, n int) (bytes uint64) {
+	for i := 0; i < n; i++ {
+		link.Send(&Packet{Seq: uint64(i), Size: 1500})
+	}
+	return uint64(n) * 1500
+}
+
+// TestVarLinkConservationAndUtilization: every byte sent is either
+// delivered, dropped, or still queued/in flight, and utilization never
+// exceeds 1 across many rate steps.
+func TestVarLinkConservationAndUtilization(t *testing.T) {
+	sch := sim.NewScheduler()
+	link := NewLinkSchedule(sch, SquareWave(6e6, 24e6, 20*sim.Millisecond), NewDropTail(1<<30))
+	sent := backlog(link, 2000)
+	sch.RunUntil(1 * sim.Second)
+
+	inFlight := uint64(0)
+	if link.txPkt != nil {
+		inFlight = uint64(link.txPkt.Size)
+	}
+	total := link.DeliveredBytes + uint64(link.Q.BytesQueued()) + inFlight
+	if total != sent {
+		t.Fatalf("byte conservation broken: delivered %d + queued %d + in flight %d != sent %d",
+			link.DeliveredBytes, link.Q.BytesQueued(), inFlight, sent)
+	}
+	if link.DroppedPackets != 0 {
+		t.Fatalf("unexpected drops: %d", link.DroppedPackets)
+	}
+	u := link.Utilization()
+	if u > 1.0+1e-9 {
+		t.Fatalf("utilization %v > 1", u)
+	}
+	if u < 0.9 {
+		t.Fatalf("backlogged link should be near fully utilized, got %v", u)
+	}
+}
+
+// TestVarLinkDeliveredMatchesIntegral is the acceptance check for the
+// time-varying link: with the queue always backlogged, delivered bytes
+// must match the integral of the rate schedule to within one in-flight
+// packet (per the piecewise-exact serialization model).
+func TestVarLinkDeliveredMatchesIntegral(t *testing.T) {
+	schedules := map[string]*RateSchedule{
+		"square": SquareWave(6e6, 24e6, 20*sim.Millisecond),
+		"ramp":   TriangleRamp(4e6, 40e6, 100*sim.Millisecond, 8),
+	}
+	for _, name := range TraceNames() {
+		s, err := LoadTrace(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		schedules["trace:"+name] = s
+	}
+	const horizon = 2 * sim.Second
+	for name, s := range schedules {
+		sch := sim.NewScheduler()
+		link := NewLinkSchedule(sch, s, NewDropTail(1<<30))
+		// Enough backlog to stay busy: peak rate over the whole horizon.
+		need := int(s.MaxBps()*horizon.Seconds()/8/1500) + 10
+		backlog(link, need)
+		sch.RunUntil(horizon)
+		if link.Busy() == false {
+			t.Fatalf("%s: link went idle; test needs a standing backlog", name)
+		}
+		wantBits := s.Bits(0, horizon)
+		gotBits := float64(link.DeliveredBytes) * 8
+		// Tolerance: one packet in flight plus sub-ns truncation drift.
+		tol := 2 * 1500 * 8.0
+		if math.Abs(gotBits-wantBits) > tol {
+			t.Fatalf("%s: delivered %g bits, schedule integral %g (diff %g > %g)",
+				name, gotBits, wantBits, gotBits-wantBits, tol)
+		}
+		if u := link.Utilization(); u > 1.0+1e-9 {
+			t.Fatalf("%s: utilization %v > 1", name, u)
+		}
+	}
+}
+
+// TestConstantLinkFastPathUnchanged: a constant-rate link must not pay
+// the varying-path costs (cancellable timers) and must behave as before.
+func TestConstantLinkFastPathUnchanged(t *testing.T) {
+	sch := sim.NewScheduler()
+	link := NewLink(sch, 12e6, NewDropTail(1<<20))
+	if link.Varying() {
+		t.Fatal("constant link reports varying")
+	}
+	var times []sim.Time
+	link.Deliver = func(p *Packet, now sim.Time) { times = append(times, now) }
+	backlog(link, 5)
+	sch.Run()
+	for i, at := range times {
+		if want := sim.Time(i+1) * sim.Millisecond; at != want {
+			t.Fatalf("packet %d at %v, want %v", i, at, want)
+		}
+	}
+	if sch.PoolReuses == 0 {
+		t.Fatal("constant path should use pooled timers")
+	}
+}

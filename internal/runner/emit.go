@@ -23,8 +23,8 @@ func WriteJSON(w io.Writer, rs []Result) error {
 func WriteCSV(w io.Writer, rs []Result) error {
 	names := MetricNames(rs)
 	cw := csv.NewWriter(w)
-	header := []string{"name", "scheme", "rate_mbps", "rtt_ms", "buffer_ms", "aqm",
-		"cross", "cross_rate_mbps", "duration_sec", "seed"}
+	header := []string{"name", "scheme", "rate_mbps", "link_trace", "rate_pattern",
+		"rtt_ms", "buffer_ms", "aqm", "cross", "cross_rate_mbps", "duration_sec", "seed"}
 	header = append(header, names...)
 	header = append(header, "events", "wall_sec", "err")
 	if err := cw.Write(header); err != nil {
@@ -33,7 +33,8 @@ func WriteCSV(w io.Writer, rs []Result) error {
 	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 	for _, r := range rs {
 		sc := r.Scenario
-		row := []string{sc.Name, sc.Scheme, g(sc.RateMbps), g(sc.RTTms), g(sc.BufferMs), sc.AQM,
+		row := []string{sc.Name, sc.Scheme, g(sc.RateMbps), sc.LinkTrace, sc.RatePattern,
+			g(sc.RTTms), g(sc.BufferMs), sc.AQM,
 			sc.Cross, g(sc.CrossRateMbps), g(sc.DurationSec), strconv.FormatInt(sc.Seed, 10)}
 		for _, n := range names {
 			if v, ok := r.Metrics[n]; ok {

@@ -1,0 +1,68 @@
+package runner
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// keyExempt lists the Scenario fields deliberately excluded from Key():
+// Name is a display label derived from the swept axes, and RunSeed is
+// itself derived from the key, so including either would be circular.
+var keyExempt = map[string]bool{
+	"Name":    true,
+	"RunSeed": true,
+}
+
+// TestKeyCoversEveryField perturbs each Scenario field by reflection and
+// requires Key() to change. It fails the moment someone adds a field to
+// Scenario without encoding it in Key() (or consciously exempting it),
+// which would silently give distinct scenarios the same random stream.
+func TestKeyCoversEveryField(t *testing.T) {
+	base := Scenario{}
+	baseKey := base.Key()
+	typ := reflect.TypeOf(base)
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		probe := base
+		fv := reflect.ValueOf(&probe).Elem().Field(i)
+		switch f.Type.Kind() {
+		case reflect.String:
+			fv.SetString("probe-" + f.Name)
+		case reflect.Float64:
+			fv.SetFloat(123.456)
+		case reflect.Int64:
+			fv.SetInt(987654321)
+		case reflect.Bool:
+			fv.SetBool(true)
+		default:
+			t.Fatalf("field %s has kind %s: teach this test how to perturb it", f.Name, f.Type.Kind())
+		}
+		changed := probe.Key() != baseKey
+		if keyExempt[f.Name] {
+			if changed {
+				t.Errorf("field %s is exempt from Key() but changes it; drop the exemption", f.Name)
+			}
+			continue
+		}
+		if !changed {
+			t.Errorf("field %s is not encoded in Scenario.Key(): two scenarios differing only in %s would share a random stream", f.Name, f.Name)
+		}
+	}
+}
+
+// TestKeyDistinguishesNewAxes pins the concrete encodings of the
+// time-varying axes (a regression guard beyond the reflection sweep).
+func TestKeyDistinguishesNewAxes(t *testing.T) {
+	a := Scenario{RateMbps: 48, LinkTrace: "cell-ramp"}
+	b := Scenario{RateMbps: 48, LinkTrace: "outage"}
+	c := Scenario{RateMbps: 48, RatePattern: "step:6:24:2000"}
+	keys := map[string]string{}
+	for _, sc := range []Scenario{a, b, c, {RateMbps: 48}} {
+		k := sc.Key()
+		if prev, dup := keys[k]; dup {
+			t.Fatalf("key collision between %q and %q: %s", prev, fmt.Sprintf("%+v", sc), k)
+		}
+		keys[k] = fmt.Sprintf("%+v", sc)
+	}
+}

@@ -32,6 +32,14 @@ type Scenario struct {
 	AQM         string  `json:"aqm,omitempty"` // droptail (default), pie, codel
 	PIETargetMs float64 `json:"pie_target_ms,omitempty"`
 
+	// Time-varying bottleneck capacity. LinkTrace names an embedded
+	// capacity trace (netem.TraceNames) or a trace file path; RatePattern
+	// is a netem.ParsePattern spec ("step:6:24:2000", "ramp:4:40:8000",
+	// "outage:10000:3000") anchored at RateMbps. Both empty means the
+	// constant-rate link; setting both is a scenario error at rig time.
+	LinkTrace   string `json:"link_trace,omitempty"`
+	RatePattern string `json:"rate_pattern,omitempty"`
+
 	// Scheme under test (internal/exp.NewScheme names).
 	Scheme string `json:"scheme"`
 
@@ -61,9 +69,14 @@ func (s Scenario) EffectiveSeed() int64 {
 // label fed to sim.DeriveSeed, so two scenarios differing in any field get
 // independent random streams, and the same scenario always gets the same
 // stream no matter where in a sweep it appears.
+//
+// Every Scenario field must be encoded here except Name (a display label)
+// and RunSeed (derived from this very key). TestKeyCoversEveryField
+// enforces that invariant by reflection — adding a field without
+// extending Key (or the test's exemption list) fails the build.
 func (s Scenario) Key() string {
-	return fmt.Sprintf("rate=%g/rtt=%g/buf=%g/aqm=%s/pie=%g/scheme=%s/cross=%s:%g@%g/dur=%g/seed=%d",
-		s.RateMbps, s.RTTms, s.BufferMs, s.AQM, s.PIETargetMs, s.Scheme,
+	return fmt.Sprintf("rate=%g/trace=%s/pattern=%s/rtt=%g/buf=%g/aqm=%s/pie=%g/scheme=%s/cross=%s:%g@%g/dur=%g/seed=%d",
+		s.RateMbps, s.LinkTrace, s.RatePattern, s.RTTms, s.BufferMs, s.AQM, s.PIETargetMs, s.Scheme,
 		s.Cross, s.CrossRateMbps, s.CrossRTTms, s.DurationSec, s.Seed)
 }
 
@@ -79,6 +92,10 @@ func (s Scenario) label(varying []string) string {
 			parts = append(parts, fmt.Sprintf("rtt=%g", s.RTTms))
 		case "buf":
 			parts = append(parts, fmt.Sprintf("buf=%g", s.BufferMs))
+		case "trace":
+			parts = append(parts, "trace="+s.LinkTrace)
+		case "pattern":
+			parts = append(parts, "pattern="+s.RatePattern)
 		case "aqm":
 			parts = append(parts, "aqm="+s.AQM)
 		case "scheme":
@@ -106,24 +123,34 @@ type Cross struct {
 type Grid struct {
 	Base Scenario `json:"base"`
 
-	RatesMbps []float64 `json:"rates_mbps,omitempty"`
-	RTTsMs    []float64 `json:"rtts_ms,omitempty"`
-	BuffersMs []float64 `json:"buffers_ms,omitempty"`
-	AQMs      []string  `json:"aqms,omitempty"`
-	Schemes   []string  `json:"schemes,omitempty"`
-	Crosses   []Cross   `json:"crosses,omitempty"`
-	Seeds     []int64   `json:"seeds,omitempty"`
+	RatesMbps    []float64 `json:"rates_mbps,omitempty"`
+	LinkTraces   []string  `json:"link_traces,omitempty"`
+	RatePatterns []string  `json:"rate_patterns,omitempty"`
+	RTTsMs       []float64 `json:"rtts_ms,omitempty"`
+	BuffersMs    []float64 `json:"buffers_ms,omitempty"`
+	AQMs         []string  `json:"aqms,omitempty"`
+	Schemes      []string  `json:"schemes,omitempty"`
+	Crosses      []Cross   `json:"crosses,omitempty"`
+	Seeds        []int64   `json:"seeds,omitempty"`
 }
 
 // Expand returns the scenarios of the grid in a stable order (outermost
-// axis first: scheme, cross, rate, rtt, buffer, aqm, seed). Every scenario
-// gets a per-run seed derived from its own parameters via sim.DeriveSeed,
-// so results do not depend on expansion order or worker count, and a Name
-// naming the varying axes.
+// axis first: scheme, cross, rate, trace, pattern, rtt, buffer, aqm,
+// seed). Every scenario gets a per-run seed derived from its own
+// parameters via sim.DeriveSeed, so results do not depend on expansion
+// order or worker count, and a Name naming the varying axes.
 func (g Grid) Expand() []Scenario {
 	rates := g.RatesMbps
 	if len(rates) == 0 {
 		rates = []float64{g.Base.RateMbps}
+	}
+	traces := g.LinkTraces
+	if len(traces) == 0 {
+		traces = []string{g.Base.LinkTrace}
+	}
+	patterns := g.RatePatterns
+	if len(patterns) == 0 {
+		patterns = []string{g.Base.RatePattern}
 	}
 	rtts := g.RTTsMs
 	if len(rtts) == 0 {
@@ -156,6 +183,7 @@ func (g Grid) Expand() []Scenario {
 		n    int
 	}{
 		{"scheme", len(schemes)}, {"cross", len(crosses)}, {"rate", len(rates)},
+		{"trace", len(traces)}, {"pattern", len(patterns)},
 		{"rtt", len(rtts)}, {"buf", len(bufs)}, {"aqm", len(aqms)}, {"seed", len(seeds)},
 	} {
 		if v.n > 1 {
@@ -163,28 +191,34 @@ func (g Grid) Expand() []Scenario {
 		}
 	}
 
-	out := make([]Scenario, 0, len(schemes)*len(crosses)*len(rates)*len(rtts)*len(bufs)*len(aqms)*len(seeds))
+	out := make([]Scenario, 0, len(schemes)*len(crosses)*len(rates)*len(traces)*len(patterns)*len(rtts)*len(bufs)*len(aqms)*len(seeds))
 	for _, scheme := range schemes {
 		for _, cross := range crosses {
 			for _, rate := range rates {
-				for _, rtt := range rtts {
-					for _, buf := range bufs {
-						for _, aqm := range aqms {
-							for _, seed := range seeds {
-								sc := g.Base
-								sc.Scheme = scheme
-								sc.Cross = cross.Kind
-								sc.CrossRateMbps = cross.RateMbps
-								sc.RateMbps = rate
-								sc.RTTms = rtt
-								sc.BufferMs = buf
-								sc.AQM = aqm
-								sc.Seed = seed
-								sc.RunSeed = sim.DeriveSeed(seed, sc.Key())
-								if sc.Name == "" || sc.Name == g.Base.Name {
-									sc.Name = sc.label(varying)
+				for _, trace := range traces {
+					for _, pattern := range patterns {
+						for _, rtt := range rtts {
+							for _, buf := range bufs {
+								for _, aqm := range aqms {
+									for _, seed := range seeds {
+										sc := g.Base
+										sc.Scheme = scheme
+										sc.Cross = cross.Kind
+										sc.CrossRateMbps = cross.RateMbps
+										sc.RateMbps = rate
+										sc.LinkTrace = trace
+										sc.RatePattern = pattern
+										sc.RTTms = rtt
+										sc.BufferMs = buf
+										sc.AQM = aqm
+										sc.Seed = seed
+										sc.RunSeed = sim.DeriveSeed(seed, sc.Key())
+										if sc.Name == "" || sc.Name == g.Base.Name {
+											sc.Name = sc.label(varying)
+										}
+										out = append(out, sc)
+									}
 								}
-								out = append(out, sc)
 							}
 						}
 					}

@@ -27,8 +27,8 @@ func TestFacadeEstimateZ(t *testing.T) {
 
 func TestFacadeExperimentRegistry(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 27 {
-		t.Fatalf("got %d experiments, want 27", len(ids))
+	if len(ids) != 28 {
+		t.Fatalf("got %d experiments, want 28 (25 figures, table1, tableE, mobile)", len(ids))
 	}
 	out, err := RunExperiment("fig07", 1, true)
 	if err != nil {

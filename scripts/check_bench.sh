@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# check_bench.sh BENCH_OUTPUT BASELINE_FILE
+#
+# Gates CI on the simulator hot path: reads allocs/op for
+# BenchmarkSimulatorThroughput from `go test -bench` output and fails if
+# it regressed more than 20% against the checked-in baseline.
+set -euo pipefail
+
+bench_out=$1
+baseline_file=$2
+
+current=$(awk '$1 ~ /^BenchmarkSimulatorThroughput/ {
+    for (i = 1; i <= NF; i++) if ($i == "allocs/op") print $(i-1)
+}' "$bench_out")
+if [ -z "$current" ]; then
+    echo "check_bench: no BenchmarkSimulatorThroughput allocs/op in $bench_out" >&2
+    exit 1
+fi
+
+baseline=$(awk -F= '/^allocs_per_op=/ { print $2 }' "$baseline_file")
+if [ -z "$baseline" ]; then
+    echo "check_bench: no allocs_per_op= line in $baseline_file" >&2
+    exit 1
+fi
+
+limit=$(( baseline + baseline / 5 ))
+echo "allocs/op: current=$current baseline=$baseline limit(+20%)=$limit"
+if [ "$current" -gt "$limit" ]; then
+    echo "check_bench: FAIL — allocs/op regressed beyond 20% of baseline" >&2
+    echo "If the increase is intentional, update $baseline_file in the same PR." >&2
+    exit 1
+fi
+echo "check_bench: OK"
