@@ -106,7 +106,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := exp.NewRig(exp.NetConfig{RateMbps: 96, RTT: 50 * sim.Millisecond, Buffer: 100 * sim.Millisecond, Seed: int64(i)})
-		s := exp.NewScheme("cubic", r.MuBps, exp.SchemeOpts{})
+		s := exp.MustScheme("cubic", r.MuBps)
 		r.AddFlow(s, 50*sim.Millisecond, 0)
 		r.Sch.RunUntil(10 * sim.Second)
 		b.ReportMetric(float64(r.Link.DeliveredPackets)/float64(b.N), "pkts/op")
@@ -119,7 +119,7 @@ func BenchmarkNimbusFlow(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := exp.NewRig(exp.NetConfig{RateMbps: 96, RTT: 50 * sim.Millisecond, Buffer: 100 * sim.Millisecond, Seed: int64(i)})
-		s := exp.NewScheme("nimbus", r.MuBps, exp.SchemeOpts{})
+		s := exp.MustScheme("nimbus", r.MuBps)
 		r.AddFlow(s, 50*sim.Millisecond, 0)
 		r.Sch.RunUntil(10 * sim.Second)
 	}

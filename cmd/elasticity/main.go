@@ -10,11 +10,17 @@
 // that — a quick check of whether a path's rate variation itself looks
 // elastic to the detector.
 //
+// The uniform listing flags every CLI in this repo shares are available
+// here too: -list-traces (embedded capacity traces for -link-trace),
+// -list-schemes (the scheme registry), -list-experiments (paper
+// experiment ids, runnable with nimbus-bench -run).
+//
 // Usage:
 //
 //	elasticity -fp 5 -interval 10ms < zseries.csv
 //	elasticity -fp 5,2,1 -workers 4 < zseries.csv
 //	elasticity -fp 5 -link-trace cell-ramp -trace-dur 60s
+//	elasticity -list-traces
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"time"
 
 	"nimbus/internal/core"
+	"nimbus/internal/exp"
 	"nimbus/internal/netem"
 	"nimbus/internal/runner"
 	"nimbus/internal/sim"
@@ -41,8 +48,15 @@ func main() {
 		workers  = flag.Int("workers", 0, "parallel analyses (0 = all cores)")
 		trace    = flag.String("link-trace", "", "analyze a capacity trace (embedded name or time_ms,mbps file) instead of stdin")
 		traceDur = flag.Duration("trace-dur", 60*time.Second, "how much of the (possibly looping) trace to resample with -link-trace")
+
+		listSchemes     = flag.Bool("list-schemes", false, "list registered schemes with their typed params and exit")
+		listTraces      = flag.Bool("list-traces", false, "list embedded link capacity traces and exit")
+		listExperiments = flag.Bool("list-experiments", false, "list paper experiment ids (run them with nimbus-bench -run) and exit")
 	)
 	flag.Parse()
+	if exp.HandleListFlags(*listSchemes, *listTraces, *listExperiments) {
+		return
+	}
 
 	freqs := parseFreqs(*fps)
 	cfg := core.DetectorConfig{

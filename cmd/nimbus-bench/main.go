@@ -2,14 +2,20 @@
 // benchmarks the simulator through the parallel sweep engine. Each
 // experiment id corresponds to one table or figure (see DESIGN.md for the
 // index); "all" runs everything. Figure grids fan out across -workers
-// cores; results are identical for any worker count.
+// cores; results are identical for any worker count. The uniform listing
+// flags (shared with nimbus-sim and elasticity) document everything the
+// harness can run: -list-experiments (experiment ids), -list-schemes
+// (registered scheme specs with typed params), -list-traces (embedded
+// capacity traces).
 //
 // Usage:
 //
-//	nimbus-bench -list
+//	nimbus-bench -list-experiments
+//	nimbus-bench -list-schemes
 //	nimbus-bench -list-traces
 //	nimbus-bench -run fig08 [-seed 1] [-full] [-workers 8]
 //	nimbus-bench -run mobile          # schemes x time-varying link traces
+//	nimbus-bench -run coexist         # heterogeneous flow mixes x traces
 //	nimbus-bench -run all -full
 //	nimbus-bench -benchmark [-bench-out BENCH_runner.json]
 package main
@@ -21,40 +27,28 @@ import (
 	"time"
 
 	"nimbus/internal/exp"
-	"nimbus/internal/netem"
 	"nimbus/internal/runner"
+	"nimbus/internal/scheme"
 )
 
 func main() {
 	var (
-		list       = flag.Bool("list", false, "list experiment ids and exit")
-		listTraces = flag.Bool("list-traces", false, "list embedded link capacity traces and exit")
-		run        = flag.String("run", "", "experiment id to run (or \"all\")")
-		seed       = flag.Int64("seed", 1, "simulation seed")
-		full       = flag.Bool("full", false, "run at the paper's full horizons (slower)")
-		workers    = flag.Int("workers", 0, "worker pool size for experiment grids (0 = all cores, 1 = sequential)")
-		bench      = flag.Bool("benchmark", false, "run the canonical scenario sweep and report events/sec per scenario")
-		benchOut   = flag.String("bench-out", "BENCH_runner.json", "where -benchmark writes its results (.json or .csv)")
+		list            = flag.Bool("list", false, "alias for -list-experiments")
+		listExperiments = flag.Bool("list-experiments", false, "list experiment ids and exit")
+		listSchemes     = flag.Bool("list-schemes", false, "list registered schemes with their typed params and exit")
+		listTraces      = flag.Bool("list-traces", false, "list embedded link capacity traces and exit")
+		run             = flag.String("run", "", "experiment id to run (or \"all\")")
+		seed            = flag.Int64("seed", 1, "simulation seed")
+		full            = flag.Bool("full", false, "run at the paper's full horizons (slower)")
+		workers         = flag.Int("workers", 0, "worker pool size for experiment grids (0 = all cores, 1 = sequential)")
+		bench           = flag.Bool("benchmark", false, "run the canonical scenario sweep and report events/sec per scenario")
+		benchOut        = flag.String("bench-out", "BENCH_runner.json", "where -benchmark writes its results (.json or .csv)")
 	)
 	flag.Parse()
 	exp.Workers = *workers
 
 	switch {
-	case *list:
-		for _, id := range exp.IDs() {
-			fmt.Printf("%-8s %s\n", id, exp.Registry[id].Title)
-		}
-	case *listTraces:
-		for _, name := range netem.TraceNames() {
-			s, err := netem.LoadTrace(name)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			fmt.Printf("%-12s %3d points, %5.1fs span, %5.1f-%5.1f Mbit/s (mean %5.1f)\n",
-				name, len(s.Points), s.Span().Seconds(),
-				s.MinBps()/1e6, s.MaxBps()/1e6, s.MeanBps(0, s.Span())/1e6)
-		}
+	case exp.HandleListFlags(*listSchemes, *listTraces, *list || *listExperiments):
 	case *bench:
 		runBenchmark(*seed, *workers, *benchOut)
 	case *run == "":
@@ -87,7 +81,7 @@ func benchGrid(seed int64) runner.Grid {
 			RTTms: 50, BufferMs: 100, DurationSec: 30, Seed: seed,
 		},
 		RatesMbps: []float64{96, 192},
-		Schemes:   []string{"nimbus", "cubic", "bbr", "copa"},
+		Schemes:   scheme.Specs("nimbus", "cubic", "bbr", "copa"),
 		Crosses: []runner.Cross{
 			{Kind: "none"},
 			{Kind: "poisson", RateMbps: 48},

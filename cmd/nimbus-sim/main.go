@@ -1,46 +1,55 @@
 // Command nimbus-sim runs scenarios on the emulated bottleneck. With
 // scalar flags it runs one scenario and prints a per-second trace plus a
 // summary — the quickest way to watch Nimbus (or any baseline) against a
-// chosen cross traffic mix. The bottleneck may be time-varying:
-// -link-trace names an embedded capacity trace (or a time_ms,mbps file)
-// and -rate-pattern applies a step/ramp/outage pattern to the nominal
-// rate. Any of -scheme, -rate, -rtt, -buf, -aqm, -cross, -link-trace,
-// -rate-pattern and -seed also accept comma-separated lists; the
-// cartesian product then runs as a parallel sweep on -workers cores and
-// prints one summary row per scenario (optionally written to -out as
-// JSON or CSV).
+// chosen cross traffic mix. Schemes are typed specs resolved in the
+// scheme registry: "-scheme nimbus(pulse=0.1,mu=est)" parameterizes the
+// scheme inline (-list-schemes documents every scheme and parameter).
+// "-flows nimbus*2+cubic@10" replaces the single scheme under test with
+// a heterogeneous flow mix (counts, staggered joins, finite flows) and
+// reports per-flow throughput plus Jain/JSD fairness. The bottleneck may
+// be time-varying: -link-trace names an embedded capacity trace (or a
+// time_ms,mbps file) and -rate-pattern applies a step/ramp/outage
+// pattern to the nominal rate. Any of -scheme, -flows, -rate, -rtt,
+// -buf, -aqm, -cross, -link-trace, -rate-pattern and -seed also accept
+// comma-separated lists (commas inside a spec's parentheses don't
+// split); the cartesian product then runs as a parallel sweep on
+// -workers cores and prints one summary row per scenario (optionally
+// written to -out as JSON or CSV).
 //
 // Examples:
 //
 //	nimbus-sim -scheme nimbus -rate 96 -rtt 50ms -buf 100ms -cross cubic -dur 60s
-//	nimbus-sim -scheme nimbus,cubic,bbr -rate 48,96 -rtt 25ms,50ms,100ms \
+//	nimbus-sim -scheme "nimbus(pulse=0.125,mu=est),cubic,bbr" -rate 48,96 \
 //	    -cross poisson -workers 8 -out sweep.csv
-//	nimbus-sim -scheme nimbus,bbr -link-trace cell-ramp,wifi-cafe,outage \
-//	    -cross poisson -cross-rate 4 -workers 8
+//	nimbus-sim -flows "nimbus+cubic,nimbus*2+bbr@10" -link-trace cell-ramp,wifi-cafe
 //	nimbus-sim -scheme nimbus -rate-pattern step:12:48:4000,outage:20000:5000 -dur 60s
+//	nimbus-sim -list-schemes
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"nimbus/internal/exp"
 	"nimbus/internal/runner"
+	spec "nimbus/internal/scheme"
 	"nimbus/internal/sim"
 )
 
 func main() {
 	var (
-		scheme  = flag.String("scheme", "nimbus", "congestion control scheme(s), comma-separated (see internal/exp.NewScheme)")
+		scheme  = flag.String("scheme", "nimbus", "scheme spec(s) under test, comma-separated (see -list-schemes)")
+		flows   = flag.String("flows", "", "heterogeneous flow mix(es) replacing -scheme: SPEC[*COUNT][@STARTs[:STOPs]] joined by \"+\"; comma-separated for sweeps")
 		rate    = flag.String("rate", "96", "bottleneck link rate(s), Mbit/s, comma-separated")
 		rtt     = flag.String("rtt", "50ms", "base RTT(s), comma-separated durations")
 		buf     = flag.String("buf", "100ms", "buffer depth(s) (time at link rate), comma-separated durations")
 		aqm     = flag.String("aqm", "droptail", "queue discipline(s): droptail, pie, codel; comma-separated")
-		trace   = flag.String("link-trace", "", "time-varying link capacity trace(s): embedded names (see nimbus-bench -list-traces) or time_ms,mbps files; comma-separated")
+		trace   = flag.String("link-trace", "", "time-varying link capacity trace(s): embedded names (see -list-traces) or time_ms,mbps files; comma-separated")
 		pattern = flag.String("rate-pattern", "", "time-varying link pattern(s): step:LO:HI:PERIODms, ramp:MIN:MAX:PERIODms, outage:ATms:DURms, constant; comma-separated")
 		cross   = flag.String("cross", "none", "cross traffic: none, cubic, reno, poisson, cbr, trace, video4k, video1080p")
 		crossMb = flag.Float64("cross-rate", 48, "cross traffic rate for poisson/cbr/trace, Mbit/s")
@@ -49,15 +58,21 @@ func main() {
 		workers = flag.Int("workers", 0, "sweep worker pool size (0 = all cores, 1 = sequential)")
 		out     = flag.String("out", "", "write sweep results to this file (.json or .csv)")
 		quiet   = flag.Bool("quiet", false, "suppress the per-second trace (single-scenario mode)")
+
+		listSchemes     = flag.Bool("list-schemes", false, "list registered schemes with their typed params and exit")
+		listTraces      = flag.Bool("list-traces", false, "list embedded link capacity traces and exit")
+		listExperiments = flag.Bool("list-experiments", false, "list paper experiment ids (run them with nimbus-bench -run) and exit")
 	)
 	flag.Parse()
+	if exp.HandleListFlags(*listSchemes, *listTraces, *listExperiments) {
+		return
+	}
 
 	grid := runner.Grid{
 		Base: runner.Scenario{
 			CrossRateMbps: *crossMb,
 			DurationSec:   sim.FromDuration(*dur).Seconds(),
 		},
-		Schemes:      splitStrings(*scheme),
 		RatesMbps:    parseFloats(*rate, "-rate"),
 		LinkTraces:   splitStrings(*trace),
 		RatePatterns: splitStrings(*pattern),
@@ -67,8 +82,13 @@ func main() {
 		Crosses:      crossList(*cross, *crossMb),
 		Seeds:        parseInts(*seed, "-seed"),
 	}
-	if len(grid.Schemes) == 0 {
-		fatalf("-scheme: no values given")
+	if *flows != "" {
+		grid.FlowMixes = flowMixes(*flows)
+	} else {
+		grid.Schemes = specList(*scheme)
+		if len(grid.Schemes) == 0 {
+			fatalf("-scheme: no values given")
+		}
 	}
 	scs := grid.Expand()
 	if len(scs) == 1 {
@@ -80,6 +100,46 @@ func main() {
 		return
 	}
 	runSweep(scs, *workers, *out)
+}
+
+// specList parses a comma-separated scheme spec list, validating each
+// spec against the registry (names and parameters) so typos fail before
+// the sweep starts.
+func specList(s string) []spec.Spec {
+	sps, err := spec.ParseList(s)
+	if err != nil {
+		fatalf("-scheme: %v", err)
+	}
+	for _, sp := range sps {
+		if err := spec.Validate(sp); err != nil {
+			fatalf("-scheme: %v (see -list-schemes)", err)
+		}
+	}
+	return sps
+}
+
+// flowMixes splits and validates the -flows value — mix syntax plus
+// every item's scheme spec — and canonicalizes each mix, so equivalent
+// spellings ("nimbus + cubic" vs "nimbus+cubic") land on the same
+// scenario key and derived seed.
+func flowMixes(s string) []string {
+	mixes := spec.SplitList(s)
+	if len(mixes) == 0 {
+		fatalf("-flows: no values given")
+	}
+	for i, mix := range mixes {
+		fss, err := exp.ParseFlowMix(mix)
+		if err != nil {
+			fatalf("-flows: %v", err)
+		}
+		for _, fs := range fss {
+			if err := spec.Validate(fs.Scheme); err != nil {
+				fatalf("-flows: %v (see -list-schemes)", err)
+			}
+		}
+		mixes[i] = exp.FormatFlowMix(fss)
+	}
+	return mixes
 }
 
 // crossList expands a comma-separated -cross value; every kind shares the
@@ -125,6 +185,10 @@ func runSweep(scs []runner.Scenario, workers int, out string) {
 // runSingle preserves the classic single-scenario view: a per-second
 // trace of throughput, queueing delay and Nimbus mode, then a summary.
 func runSingle(sc runner.Scenario, quiet bool) {
+	if sc.FlowMix != "" {
+		runSingleMix(sc)
+		return
+	}
 	r, scheme, probe, err := rigFor(sc)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -164,6 +228,25 @@ func runSingle(sc runner.Scenario, quiet bool) {
 			scheme.Nimbus.ModeSwitches, scheme.Nimbus.Mode(), scheme.Nimbus.Role())
 	}
 	fmt.Println()
+}
+
+// runSingleMix runs one flow-mix scenario and prints every metric the
+// run produced (per-flow throughputs, fairness, delays), sorted by name.
+func runSingleMix(sc runner.Scenario) {
+	r := exp.RunFlowMixScenario(sc)
+	if r.Err != "" {
+		fmt.Fprintln(os.Stderr, r.Err)
+		os.Exit(2)
+	}
+	fmt.Printf("flows: %s\n", sc.FlowMix)
+	names := make([]string, 0, len(r.Metrics))
+	for k := range r.Metrics {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Printf("%-18s %12.3f\n", k, r.Metrics[k])
+	}
 }
 
 // rigFor materializes the scenario, turning harness panics (unknown

@@ -25,7 +25,7 @@ func main() {
 	var flows []*core.Nimbus
 	var probes []*exp.FlowProbe
 	for i := 0; i < 3; i++ {
-		s := exp.NewScheme("nimbus", r.MuBps, exp.SchemeOpts{MultiFlow: true})
+		s := exp.MustScheme("nimbus(multiflow=true)", r.MuBps)
 		flows = append(flows, s.Nimbus)
 		probes = append(probes, r.AddFlow(s, 50*sim.Millisecond, 0))
 	}

@@ -26,7 +26,7 @@ func main() {
 			Buffer:   100 * sim.Millisecond,
 			Seed:     7,
 		})
-		sch := exp.NewScheme("nimbus", r.MuBps, exp.SchemeOpts{})
+		sch := exp.MustScheme("nimbus", r.MuBps)
 		probe := r.AddFlow(sch, 50*sim.Millisecond, 0)
 
 		ladder := crosstraffic.Ladder1080p

@@ -23,7 +23,7 @@ func main() {
 			Buffer:   100 * sim.Millisecond,
 			Seed:     42,
 		})
-		sch := exp.NewScheme(scheme, r.MuBps, exp.SchemeOpts{})
+		sch := exp.MustScheme(scheme, r.MuBps)
 		probe := r.AddFlow(sch, 50*sim.Millisecond, 0)
 		if err := exp.AddCross(r, "trace", 0.5*r.MuBps, 50*sim.Millisecond); err != nil {
 			panic(err)

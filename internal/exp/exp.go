@@ -13,6 +13,7 @@ import (
 	"nimbus/internal/crosstraffic"
 	"nimbus/internal/metrics"
 	"nimbus/internal/netem"
+	spec "nimbus/internal/scheme"
 	"nimbus/internal/sim"
 	"nimbus/internal/transport"
 )
@@ -81,117 +82,57 @@ func NewRig(cfg NetConfig) *Rig {
 	}
 }
 
-// SchemeOpts tunes scheme construction.
-type SchemeOpts struct {
-	// PulseFraction overrides Nimbus's pulse amplitude fraction.
-	PulseFraction float64
-	// EstimateMu uses the BBR-style µ estimator instead of the oracle.
-	EstimateMu bool
-	// Mu, when non-nil, overrides the µ estimator entirely. Rigs with
-	// time-varying links pass a LinkOracle here: a fixed-rate oracle
-	// would hand Nimbus a stale µ the moment the capacity moves.
-	Mu core.MuEstimator
-	// MultiFlow enables the pulser/watcher protocol.
-	MultiFlow bool
-	// PulseFreq overrides fpc (and fpd when not multi-flow).
-	PulseFreq float64
-	// Detector overrides the detector configuration.
-	Detector core.DetectorConfig
-	// StartCompetitive starts Nimbus in TCP-competitive mode. Against
-	// bistable cross traffic (BBR with deep buffers: ACK-clocked only
-	// when the queue exceeds its rtprop) the starting mode selects the
-	// equilibrium.
-	StartCompetitive bool
-}
-
 // Scheme is a constructed congestion controller, with the Nimbus core
-// exposed when the scheme is Nimbus-based.
+// exposed when the scheme is Nimbus-based. Schemes are built from typed
+// specs through the internal/scheme registry, which internal/cc and
+// internal/core populate at init time.
 type Scheme struct {
-	Name   string
+	// Name is the registered scheme name (the spec's name without
+	// parameters); random streams and result rows are labeled with it.
+	Name string
+	// Spec is the full typed spec the scheme was built from.
+	Spec   spec.Spec
 	Ctrl   transport.Controller
 	Nimbus *core.Nimbus // nil for non-Nimbus schemes
 	Copa   *cc.Copa     // non-nil for the Copa baseline (mode telemetry)
 }
 
-// NewScheme builds a congestion controller by name. Recognized names:
-//
-//	cubic, reno, vegas, copa, copa-default, bbr, vivace, compound
-//	nimbus            — Cubic + BasicDelay (the paper's default)
-//	nimbus-copa       — Cubic + Copa default mode
-//	nimbus-vegas      — Cubic + Vegas
-//	nimbus-reno       — NewReno + BasicDelay
-//	nimbus-delay      — BasicDelay pinned (no switching; "delay-control")
-//	nimbus-competitive— Cubic pinned (ablation)
-func NewScheme(name string, muBps float64, opts SchemeOpts) Scheme {
-	mu := core.MuEstimator(core.Oracle{Rate: muBps})
-	if opts.EstimateMu {
-		mu = core.NewMaxReceiveRate(0)
+// BuildScheme constructs the scheme a spec describes. muBps is the
+// nominal bottleneck rate (the µ oracle's truth); mu, when non-nil, is
+// the environment's true-rate µ source — rigs with time-varying links
+// pass a LinkOracle, since a fixed-rate oracle would hand Nimbus a
+// stale µ the moment the capacity moves. A spec that explicitly asks
+// for the estimator (mu=est) keeps the estimator either way.
+func BuildScheme(sp spec.Spec, muBps float64, mu core.MuEstimator) (Scheme, error) {
+	ctrl, err := spec.Build(sp, spec.BuildContext{MuBps: muBps, Mu: mu})
+	if err != nil {
+		return Scheme{}, err
 	}
-	if opts.Mu != nil {
-		mu = opts.Mu
+	s := Scheme{Name: sp.Name, Spec: sp, Ctrl: ctrl}
+	if n, ok := ctrl.(*core.Nimbus); ok {
+		s.Nimbus = n
 	}
-	nimbusCfg := func(delay core.WindowCC, comp core.WindowCC, pinned bool, startMode core.Mode) Scheme {
-		if comp == nil {
-			comp = cc.NewCubic()
-		}
-		if opts.StartCompetitive && !pinned {
-			startMode = core.ModeCompetitive
-		}
-		cfg := core.Config{
-			Mu:            mu,
-			Competitive:   comp,
-			Delay:         delay,
-			PulseFraction: opts.PulseFraction,
-			MultiFlow:     opts.MultiFlow,
-			Pinned:        pinned,
-			StartMode:     startMode,
-			Detector:      opts.Detector,
-		}
-		if opts.PulseFreq > 0 {
-			cfg.FreqCompetitive = opts.PulseFreq
-			if !opts.MultiFlow {
-				cfg.FreqDelay = opts.PulseFreq
-			} else {
-				cfg.FreqDelay = opts.PulseFreq + 1
-			}
-		}
-		n := core.NewNimbus(cfg)
-		return Scheme{Name: name, Ctrl: n, Nimbus: n}
+	if c, ok := ctrl.(*cc.Copa); ok {
+		s.Copa = c
 	}
-	switch name {
-	case "cubic":
-		return Scheme{Name: name, Ctrl: cc.NewCubic()}
-	case "reno":
-		return Scheme{Name: name, Ctrl: cc.NewReno()}
-	case "vegas":
-		return Scheme{Name: name, Ctrl: cc.NewVegas()}
-	case "copa":
-		c := cc.NewCopa()
-		return Scheme{Name: name, Ctrl: c, Copa: c}
-	case "copa-default":
-		c := cc.NewCopaDefaultMode()
-		return Scheme{Name: name, Ctrl: c, Copa: c}
-	case "bbr":
-		return Scheme{Name: name, Ctrl: cc.NewBBR()}
-	case "vivace":
-		return Scheme{Name: name, Ctrl: cc.NewVivace()}
-	case "compound":
-		return Scheme{Name: name, Ctrl: cc.NewCompound()}
-	case "nimbus":
-		return nimbusCfg(nil, nil, false, core.ModeDelay)
-	case "nimbus-copa":
-		return nimbusCfg(cc.NewCopaDefaultMode(), nil, false, core.ModeDelay)
-	case "nimbus-vegas":
-		return nimbusCfg(cc.NewVegas(), nil, false, core.ModeDelay)
-	case "nimbus-reno":
-		return nimbusCfg(nil, cc.NewReno(), false, core.ModeDelay)
-	case "nimbus-delay":
-		return nimbusCfg(nil, nil, true, core.ModeDelay)
-	case "nimbus-competitive":
-		return nimbusCfg(nil, nil, true, core.ModeCompetitive)
-	default:
-		panic("exp: unknown scheme " + name)
+	return s, nil
+}
+
+// MustBuildScheme is BuildScheme for known-good specs; it panics on
+// error (the harness's runGuarded turns panics into error rows).
+func MustBuildScheme(sp spec.Spec, muBps float64) Scheme {
+	s, err := BuildScheme(sp, muBps, nil)
+	if err != nil {
+		panic(err)
 	}
+	return s
+}
+
+// MustScheme parses a spec string ("nimbus", "copa(delta=0.1)",
+// "nimbus(pulse=0.1,multiflow=true)") and builds it, panicking on error.
+// It is the one-liner the figure reproductions use.
+func MustScheme(s string, muBps float64) Scheme {
+	return MustBuildScheme(spec.MustParse(s), muBps)
 }
 
 // LinkOracle is the time-varying analogue of core.Oracle: it reports the
@@ -244,6 +185,147 @@ func (r *Rig) AddFlowSrc(s Scheme, rtt sim.Time, start sim.Time, src transport.S
 
 // MeanMbps is the probe's mean throughput over [from, to).
 func (p *FlowProbe) MeanMbps(from, to sim.Time) float64 { return p.Tput.MeanMbps(from, to) }
+
+// FlowSpec declares one group of flows for a Rig: which scheme, how many
+// copies, when they start and stop, and what application drives them.
+// It is the composition unit behind heterogeneous coexistence
+// experiments (Nimbus-vs-Cubic-vs-BBR mixes, late joiners, finite
+// flows) — one Rig hosts any number of FlowSpecs.
+type FlowSpec struct {
+	// Scheme is the typed scheme spec each flow runs.
+	Scheme spec.Spec
+	// Count is how many identical flows to start (0 means 1). Each gets
+	// its own controller instance and random stream.
+	Count int
+	// RTT is the flows' base RTT; 0 uses the rig's configured RTT.
+	RTT sim.Time
+	// StartAt / StopAt bound the flows' lifetime; StopAt 0 means the
+	// flows run to the end of the simulation.
+	StartAt, StopAt sim.Time
+	// Source is the application source (nil means backlogged).
+	Source transport.Source
+}
+
+// Flow is one instantiated flow of a FlowSpec: its constructed scheme,
+// its probe, and where it came from.
+type Flow struct {
+	Spec   FlowSpec
+	Index  int // index within the FlowSpec's Count
+	Scheme Scheme
+	Probe  *FlowProbe
+}
+
+// Active returns the flow's active interval clipped to [0, end).
+func (f *Flow) Active(end sim.Time) (from, to sim.Time) {
+	from, to = f.Spec.StartAt, end
+	if f.Spec.StopAt > 0 && f.Spec.StopAt < end {
+		to = f.Spec.StopAt
+	}
+	return from, to
+}
+
+// MeanMbps is the flow's mean throughput over its active interval
+// clipped to end.
+func (f *Flow) MeanMbps(end sim.Time) float64 {
+	from, to := f.Active(end)
+	return f.Probe.MeanMbps(from, to)
+}
+
+// AddFlowSpecs instantiates flow specs on the rig, in order. Flows on a
+// time-varying rig get the link oracle as µ unless their spec says
+// otherwise; start/stop scheduling and per-flow probes are wired the
+// same way AddFlow does for a single flow. The call is atomic: every
+// scheme is built (and validated) before any flow touches the rig, so
+// an error leaves the rig exactly as it was.
+func (r *Rig) AddFlowSpecs(specs ...FlowSpec) ([]*Flow, error) {
+	var mu core.MuEstimator
+	if r.Link.Varying() {
+		mu = LinkOracle{Link: r.Link}
+	}
+	var flows []*Flow
+	for _, fs := range specs {
+		if fs.StopAt > 0 && fs.StopAt <= fs.StartAt {
+			return nil, fmt.Errorf("exp: flow spec %s: stop %gs not after start %gs",
+				fs.Scheme, fs.StopAt.Seconds(), fs.StartAt.Seconds())
+		}
+		count := fs.Count
+		if count <= 0 {
+			count = 1
+		}
+		for i := 0; i < count; i++ {
+			s, err := BuildScheme(fs.Scheme, r.MuBps, mu)
+			if err != nil {
+				return nil, err
+			}
+			flows = append(flows, &Flow{Spec: fs, Index: i, Scheme: s})
+		}
+	}
+	for _, f := range flows {
+		rtt := f.Spec.RTT
+		if rtt == 0 {
+			rtt = r.Cfg.RTT
+		}
+		src := f.Spec.Source
+		if src == nil {
+			src = transport.Backlogged{}
+		}
+		f.Probe = r.AddFlowSrc(f.Scheme, rtt, f.Spec.StartAt, src)
+		if stop := f.Spec.StopAt; stop > 0 {
+			probe := f.Probe
+			r.Sch.At(stop, func() {
+				probe.Sender.Stop()
+				r.Net.Detach(probe.Sender.ID())
+			})
+		}
+	}
+	return flows, nil
+}
+
+// FlowSetStats are the aggregate measurements of a heterogeneous flow
+// set: per-flow throughput plus the fairness of the allocation.
+type FlowSetStats struct {
+	// PerFlowMbps is each flow's mean throughput over its own active
+	// interval, in AddFlowSpecs order.
+	PerFlowMbps []float64
+	// AggMbps is the flow set's aggregate throughput over the whole run
+	// ([0, end)) — total delivered bits over total time, so it is
+	// bounded by the link capacity and comparable to a single flow's
+	// mean_mbps regardless of how the flows' active windows stagger.
+	AggMbps float64
+	// Jain and JSDUniform score the allocation over the window where
+	// every flow is active (Jain's fairness index; Jensen-Shannon
+	// divergence from the equal-share split, in bits). Both are 0 when
+	// no such window exists.
+	Jain       float64
+	JSDUniform float64
+}
+
+// FlowStats measures a flow set at the end of a run.
+func FlowStats(flows []*Flow, end sim.Time) FlowSetStats {
+	st := FlowSetStats{}
+	// The fairness window: every flow active.
+	winFrom, winTo := sim.Time(0), end
+	for _, f := range flows {
+		from, to := f.Active(end)
+		if from > winFrom {
+			winFrom = from
+		}
+		if to < winTo {
+			winTo = to
+		}
+		st.PerFlowMbps = append(st.PerFlowMbps, f.Probe.MeanMbps(from, to))
+		st.AggMbps += f.Probe.MeanMbps(0, end)
+	}
+	if winTo > winFrom {
+		shared := make([]float64, len(flows))
+		for i, f := range flows {
+			shared[i] = f.Probe.MeanMbps(winFrom, winTo)
+		}
+		st.Jain = metrics.JainIndex(shared)
+		st.JSDUniform = metrics.JSDUniform(shared)
+	}
+	return st
+}
 
 // AddCubicCross starts n long-running Cubic cross flows at time start and
 // returns their senders.

@@ -6,6 +6,7 @@ import (
 
 	"nimbus/internal/netem"
 	"nimbus/internal/runner"
+	spec "nimbus/internal/scheme"
 	"nimbus/internal/sim"
 )
 
@@ -16,6 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
 		"fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22",
 		"fig23", "fig24", "fig25", "fig26", "table1", "tableE", "mobile",
+		"coexist",
 	}
 	for _, id := range want {
 		if _, ok := Registry[id]; !ok {
@@ -37,16 +39,19 @@ func TestRunUnknownExperiment(t *testing.T) {
 	}
 }
 
-func TestNewSchemeNames(t *testing.T) {
+func TestMustSchemeNames(t *testing.T) {
 	names := []string{
 		"cubic", "reno", "vegas", "copa", "copa-default", "bbr", "vivace",
-		"compound", "nimbus", "nimbus-copa", "nimbus-vegas", "nimbus-reno",
-		"nimbus-delay", "nimbus-competitive",
+		"compound", "fixedwindow", "nimbus", "nimbus-copa", "nimbus-vegas",
+		"nimbus-reno", "nimbus-delay", "nimbus-competitive",
 	}
 	for _, n := range names {
-		s := NewScheme(n, 96e6, SchemeOpts{})
+		s := MustScheme(n, 96e6)
 		if s.Ctrl == nil {
 			t.Fatalf("scheme %s has nil controller", n)
+		}
+		if s.Name != n {
+			t.Fatalf("scheme %s reports Name %q", n, s.Name)
 		}
 		if strings.HasPrefix(n, "nimbus") && s.Nimbus == nil {
 			t.Fatalf("scheme %s should expose Nimbus", n)
@@ -55,15 +60,32 @@ func TestNewSchemeNames(t *testing.T) {
 			t.Fatalf("scheme %s should expose Copa", n)
 		}
 	}
+	// Parameterized specs resolve through the same registry.
+	s := MustScheme("nimbus(pulse=0.1,mu=est,multiflow=true)", 96e6)
+	if s.Nimbus == nil || s.Name != "nimbus" {
+		t.Fatalf("parameterized nimbus: %+v", s)
+	}
 }
 
-func TestNewSchemeUnknownPanics(t *testing.T) {
+func TestMustSchemeUnknownPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
 			t.Fatal("no panic for unknown scheme")
 		}
 	}()
-	NewScheme("quic", 96e6, SchemeOpts{})
+	MustScheme("quic", 96e6)
+}
+
+func TestBuildSchemeRejectsBadParams(t *testing.T) {
+	for _, s := range []string{"cubic(pulse=0.1)", "nimbus(mu=maybe)", "nimbus(pulse=zero)", "copa(delta=-1)"} {
+		sp, err := spec.Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if _, err := BuildScheme(sp, 96e6, nil); err == nil {
+			t.Errorf("BuildScheme(%q) accepted a bad spec", s)
+		}
+	}
 }
 
 func TestNewRigAQMs(t *testing.T) {
@@ -234,7 +256,7 @@ func TestParallelFigureDeterminism(t *testing.T) {
 func TestRunScenarioMetrics(t *testing.T) {
 	r := RunScenario(runner.Scenario{
 		Name: "smoke", RateMbps: 48, RTTms: 50, BufferMs: 100,
-		Scheme: "nimbus", Cross: "poisson", CrossRateMbps: 12,
+		Scheme: spec.MustParse("nimbus"), Cross: "poisson", CrossRateMbps: 12,
 		DurationSec: 8, Seed: 7,
 	})
 	if r.Err != "" {
@@ -251,7 +273,7 @@ func TestRunScenarioMetrics(t *testing.T) {
 		t.Fatal("nimbus scheme should report mode telemetry")
 	}
 	// Unknown cross kinds surface as error rows, not panics.
-	bad := RunScenario(runner.Scenario{RateMbps: 48, RTTms: 50, Scheme: "cubic", Cross: "flood", DurationSec: 1})
+	bad := RunScenario(runner.Scenario{RateMbps: 48, RTTms: 50, Scheme: spec.MustParse("cubic"), Cross: "flood", DurationSec: 1})
 	if bad.Err == "" {
 		t.Fatal("bad cross kind should produce an error row")
 	}

@@ -28,7 +28,7 @@ type Fig01Result struct {
 // "nimbus-delay" for Fig 1b, "nimbus" for Fig 1c).
 func RunFig01(scheme string, seed int64) Fig01Result {
 	r := NewRig(NetConfig{RateMbps: 48, RTT: 50 * sim.Millisecond, Buffer: 100 * sim.Millisecond, Seed: seed})
-	probe := r.AddFlow(NewScheme(scheme, r.MuBps, SchemeOpts{}), 50*sim.Millisecond, 0)
+	probe := r.AddFlow(MustScheme(scheme, r.MuBps), 50*sim.Millisecond, 0)
 
 	// Elastic phase: one Cubic flow from 30 s to 90 s.
 	cross := r.AddCubicCross(1, 50*sim.Millisecond, 30*sim.Second)

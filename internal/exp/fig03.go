@@ -26,7 +26,7 @@ type Fig03Result struct {
 // flow's exact share of the bottleneck queue occupancy over time.
 func RunFig03(seed int64) Fig03Result {
 	r := NewRig(NetConfig{RateMbps: 48, RTT: 50 * sim.Millisecond, Buffer: 100 * sim.Millisecond, Seed: seed})
-	probe := r.AddFlow(NewScheme("cubic", r.MuBps, SchemeOpts{}), 50*sim.Millisecond, 0)
+	probe := r.AddFlow(MustScheme("cubic", r.MuBps), 50*sim.Millisecond, 0)
 	cross := r.AddCubicCross(1, 50*sim.Millisecond, 30*sim.Second)
 	r.StopFlows(cross, 90*sim.Second)
 	po := newPoisson(r, 40*sim.Millisecond, 24e6)

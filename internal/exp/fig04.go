@@ -29,7 +29,7 @@ type Fig04Result struct {
 // half-link CBR (inelastic) and records S/ẑ telemetry for a window.
 func RunFig04(elastic bool, seed int64) Fig04Result {
 	r := NewRig(NetConfig{RateMbps: 96, RTT: 50 * sim.Millisecond, Buffer: 100 * sim.Millisecond, Seed: seed})
-	s := NewScheme("nimbus", r.MuBps, SchemeOpts{})
+	s := MustScheme("nimbus", r.MuBps)
 	r.AddFlow(s, 50*sim.Millisecond, 0)
 	if elastic {
 		r.AddCubicCross(1, 50*sim.Millisecond, 0)

@@ -21,7 +21,7 @@ type Fig05Result struct {
 // RunFig05 reuses the Fig. 4 scenarios and reads the detector's spectrum.
 func RunFig05(elastic bool, seed int64) Fig05Result {
 	r := NewRig(NetConfig{RateMbps: 96, RTT: 50 * sim.Millisecond, Buffer: 100 * sim.Millisecond, Seed: seed})
-	s := NewScheme("nimbus", r.MuBps, SchemeOpts{})
+	s := MustScheme("nimbus", r.MuBps)
 	r.AddFlow(s, 50*sim.Millisecond, 0)
 	if elastic {
 		r.AddCubicCross(1, 50*sim.Millisecond, 0)

@@ -26,7 +26,7 @@ type Fig06Row struct {
 // inelastic traffic, together offering ~half the link.
 func RunFig06Point(frac float64, seed int64, dur sim.Time) Fig06Row {
 	r := NewRig(NetConfig{RateMbps: 96, RTT: 50 * sim.Millisecond, Buffer: 100 * sim.Millisecond, Seed: seed})
-	s := NewScheme("nimbus", r.MuBps, SchemeOpts{})
+	s := MustScheme("nimbus", r.MuBps)
 	r.AddFlow(s, 50*sim.Millisecond, 0)
 
 	crossTotal := 48e6

@@ -47,7 +47,7 @@ type Fig08Row struct {
 // 50 ms, 2 BDP link. phaseDur shortens the script for quick runs.
 func RunFig08(scheme string, seed int64, phaseDur sim.Time) Fig08Row {
 	r := NewRig(NetConfig{RateMbps: 96, RTT: 50 * sim.Millisecond, Buffer: 100 * sim.Millisecond, Seed: seed})
-	sch := NewScheme(scheme, r.MuBps, SchemeOpts{})
+	sch := MustScheme(scheme, r.MuBps)
 	probe := r.AddFlow(sch, 50*sim.Millisecond, 0)
 
 	po := newPoisson(r, 40*sim.Millisecond, 0)

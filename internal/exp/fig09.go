@@ -7,6 +7,7 @@ import (
 	"nimbus/internal/cc"
 	"nimbus/internal/crosstraffic"
 	"nimbus/internal/metrics"
+	spec "nimbus/internal/scheme"
 	"nimbus/internal/sim"
 	"nimbus/internal/stats"
 	"nimbus/internal/transport"
@@ -30,12 +31,12 @@ type Fig09Row struct {
 // RunFig09 runs one scheme against the heavy-tailed trace workload at
 // the given offered load on a 96 Mbit/s, 50 ms, 100 ms-buffer link.
 func RunFig09(scheme string, seed int64, dur sim.Time, loadFrac float64) Fig09Row {
-	return runFig09WithOpts(scheme, SchemeOpts{}, seed, dur, loadFrac)
+	return runFig09Spec(spec.MustParse(scheme), seed, dur, loadFrac)
 }
 
-func runFig09WithOpts(scheme string, opts SchemeOpts, seed int64, dur sim.Time, loadFrac float64) Fig09Row {
+func runFig09Spec(sp spec.Spec, seed int64, dur sim.Time, loadFrac float64) Fig09Row {
 	r := NewRig(NetConfig{RateMbps: 96, RTT: 50 * sim.Millisecond, Buffer: 100 * sim.Millisecond, Seed: seed})
-	sch := NewScheme(scheme, r.MuBps, opts)
+	sch := MustBuildScheme(sp, r.MuBps)
 	probe := r.AddFlow(sch, 50*sim.Millisecond, 0)
 	w := &crosstraffic.TraceWorkload{
 		Net:     r.Net,
@@ -47,7 +48,7 @@ func runFig09WithOpts(scheme string, opts SchemeOpts, seed int64, dur sim.Time, 
 	w.Start(0)
 	r.Sch.RunUntil(dur)
 
-	row := Fig09Row{Scheme: scheme}
+	row := Fig09Row{Scheme: sp.String()}
 	row.MeanMbps = probe.MeanMbps(5*sim.Second, dur)
 	rates := probe.Tput.SeriesMbps()
 	if len(rates) > 5 {

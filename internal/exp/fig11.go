@@ -24,7 +24,7 @@ type Fig11Row struct {
 // 50 ms link.
 func RunFig11(scheme, video string, seed int64, dur sim.Time) Fig11Row {
 	r := NewRig(NetConfig{RateMbps: 48, RTT: 50 * sim.Millisecond, Buffer: 100 * sim.Millisecond, Seed: seed})
-	sch := NewScheme(scheme, r.MuBps, SchemeOpts{})
+	sch := MustScheme(scheme, r.MuBps)
 	probe := r.AddFlow(sch, 50*sim.Millisecond, 0)
 	ladder := crosstraffic.Ladder1080p
 	if video == "4k" {

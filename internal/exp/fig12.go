@@ -27,7 +27,7 @@ type Fig12Result struct {
 // initial window as elastic).
 func RunFig12(seed int64, dur sim.Time) Fig12Result {
 	r := NewRig(NetConfig{RateMbps: 96, RTT: 50 * sim.Millisecond, Buffer: 100 * sim.Millisecond, Seed: seed})
-	sch := NewScheme("nimbus", r.MuBps, SchemeOpts{})
+	sch := MustScheme("nimbus", r.MuBps)
 	r.AddFlow(sch, 50*sim.Millisecond, 0)
 	w := &crosstraffic.TraceWorkload{
 		Net:     r.Net,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	spec "nimbus/internal/scheme"
 	"nimbus/internal/sim"
 	"nimbus/internal/stats"
 )
@@ -47,7 +48,11 @@ func Fig13(seed int64, quick bool) []Fig13Row {
 }
 
 func runFig13(label, scheme string, pulse, load float64, seed int64, dur sim.Time) Fig13Row {
-	row9 := runFig09WithOpts(scheme, SchemeOpts{PulseFraction: pulse}, seed, dur, load)
+	sp := spec.MustParse(scheme)
+	if pulse > 0 {
+		sp = sp.With("pulse", spec.Num(pulse))
+	}
+	row9 := runFig09Spec(sp, seed, dur, load)
 	return Fig13Row{
 		Scheme:      label,
 		LoadFrac:    load,

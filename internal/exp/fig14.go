@@ -26,7 +26,7 @@ func RunFig14Left(share float64, kind string, seed int64, dur sim.Time) Fig14Lef
 
 	// Nimbus run.
 	r1 := NewRig(NetConfig{RateMbps: 96, RTT: 50 * sim.Millisecond, Buffer: 100 * sim.Millisecond, Seed: seed})
-	n := NewScheme("nimbus", r1.MuBps, SchemeOpts{})
+	n := MustScheme("nimbus", r1.MuBps)
 	r1.AddFlow(n, 50*sim.Millisecond, 0)
 	addInelastic(r1, kind, share*r1.MuBps)
 	var mt ModeTracker
@@ -35,7 +35,7 @@ func RunFig14Left(share float64, kind string, seed int64, dur sim.Time) Fig14Lef
 
 	// Copa run.
 	r2 := NewRig(NetConfig{RateMbps: 96, RTT: 50 * sim.Millisecond, Buffer: 100 * sim.Millisecond, Seed: seed})
-	c := NewScheme("copa", r2.MuBps, SchemeOpts{})
+	c := MustScheme("copa", r2.MuBps)
 	r2.AddFlow(c, 50*sim.Millisecond, 0)
 	addInelastic(r2, kind, share*r2.MuBps)
 	acc := r2.CopaModeProbe(c.Copa, truth, 10*sim.Second)
@@ -75,7 +75,7 @@ func RunFig14Right(ratio float64, seed int64, dur sim.Time) Fig14RightRow {
 	crossRTT := sim.Time(float64(base) * ratio)
 
 	r1 := NewRig(NetConfig{RateMbps: 96, RTT: base, Buffer: 100 * sim.Millisecond, Seed: seed})
-	n := NewScheme("nimbus", r1.MuBps, SchemeOpts{})
+	n := MustScheme("nimbus", r1.MuBps)
 	r1.AddFlow(n, base, 0)
 	reno1 := transport.NewSender(r1.Net, crossRTT, cc.NewReno(), transport.Backlogged{}, r1.Rng.Split("reno"))
 	reno1.Start(0)
@@ -84,7 +84,7 @@ func RunFig14Right(ratio float64, seed int64, dur sim.Time) Fig14RightRow {
 	r1.Sch.RunUntil(dur)
 
 	r2 := NewRig(NetConfig{RateMbps: 96, RTT: base, Buffer: 100 * sim.Millisecond, Seed: seed})
-	c := NewScheme("copa", r2.MuBps, SchemeOpts{})
+	c := MustScheme("copa", r2.MuBps)
 	r2.AddFlow(c, base, 0)
 	reno2 := transport.NewSender(r2.Net, crossRTT, cc.NewReno(), transport.Backlogged{}, r2.Rng.Split("reno"))
 	reno2.Start(0)

@@ -23,7 +23,7 @@ func RunFig15Point(ratio float64, mix string, seed int64, dur sim.Time) Fig15Row
 	base := 50 * sim.Millisecond
 	crossRTT := sim.Time(float64(base) * ratio)
 	r := NewRig(NetConfig{RateMbps: 96, RTT: base, Buffer: 100 * sim.Millisecond, Seed: seed})
-	n := NewScheme("nimbus", r.MuBps, SchemeOpts{})
+	n := MustScheme("nimbus", r.MuBps)
 	r.AddFlow(n, base, 0)
 
 	var truly bool

@@ -40,7 +40,7 @@ func RunFig16(seed int64, scale float64) Fig16Result {
 	}
 	var flows []*flow
 	for i := 0; i < 4; i++ {
-		s := NewScheme("nimbus-vegas", r.MuBps, SchemeOpts{MultiFlow: true})
+		s := MustScheme("nimbus-vegas(multiflow=true)", r.MuBps)
 		start := sim.Time(i) * stagger
 		probe := r.AddFlow(s, 50*sim.Millisecond, start)
 		f := &flow{n: s.Nimbus, probe: probe}
@@ -104,16 +104,10 @@ func RunFig16(seed int64, scale float64) Fig16Result {
 	// Fairness window: all four flows active (3*stagger .. stagger+life).
 	from, to := 3*stagger, stagger+life
 	if to > from {
-		var sum, sumSq float64
 		for _, f := range flows {
-			m := f.probe.MeanMbps(from, to)
-			res.PerFlowMbps = append(res.PerFlowMbps, m)
-			sum += m
-			sumSq += m * m
+			res.PerFlowMbps = append(res.PerFlowMbps, f.probe.MeanMbps(from, to))
 		}
-		if sumSq > 0 {
-			res.JainIndex = sum * sum / (4 * sumSq)
-		}
+		res.JainIndex = metrics.JainIndex(res.PerFlowMbps)
 	}
 	if census > 0 {
 		res.FracOnePulser = float64(one) / float64(census)

@@ -29,7 +29,7 @@ func RunFig17(seed int64, scale float64) Fig17Result {
 
 	var probes []*FlowProbe
 	for i := 0; i < 3; i++ {
-		s := NewScheme("nimbus", r.MuBps, SchemeOpts{MultiFlow: true})
+		s := MustScheme("nimbus(multiflow=true)", r.MuBps)
 		probes = append(probes, r.AddFlow(s, 50*sim.Millisecond, 0))
 	}
 	cross := r.AddCubicCross(3, 50*sim.Millisecond, phase(30))

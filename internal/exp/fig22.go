@@ -28,7 +28,7 @@ func RunFig22Point(bufBDP float64, seed int64, dur sim.Time) Fig22Row {
 	buf := sim.Time(bufBDP * float64(rtt))
 	run := func(scheme string) (float64, float64) {
 		r := NewRig(NetConfig{RateMbps: 96, RTT: rtt, Buffer: buf, Seed: seed})
-		sch := NewScheme(scheme, r.MuBps, SchemeOpts{})
+		sch := MustScheme(scheme, r.MuBps)
 		probe := r.AddFlow(sch, rtt, 0)
 		bbr := transport.NewSender(r.Net, rtt, cc.NewBBR(), transport.Backlogged{}, r.Rng.Split("bbr"))
 		bbr.Start(0)

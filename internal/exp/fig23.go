@@ -26,7 +26,7 @@ type Fig23Row struct {
 // RunFig23Point runs one (scheme, cbr) cell on a 96 Mbit/s link.
 func RunFig23Point(scheme string, cbrMbps float64, seed int64, dur sim.Time) Fig23Row {
 	r := NewRig(NetConfig{RateMbps: 96, RTT: 50 * sim.Millisecond, Buffer: 100 * sim.Millisecond, Seed: seed})
-	sch := NewScheme(scheme, r.MuBps, SchemeOpts{})
+	sch := MustScheme(scheme, r.MuBps)
 	probe := r.AddFlow(sch, 50*sim.Millisecond, 0)
 	newCBR(r, 40*sim.Millisecond, cbrMbps*1e6).Start(0)
 
@@ -103,7 +103,7 @@ type Fig24Row struct {
 func RunFig24Point(scheme string, ratio float64, seed int64, dur sim.Time) Fig24Row {
 	rtt := 50 * sim.Millisecond
 	r := NewRig(NetConfig{RateMbps: 96, RTT: rtt, Buffer: 100 * sim.Millisecond, Seed: seed})
-	sch := NewScheme(scheme, r.MuBps, SchemeOpts{})
+	sch := MustScheme(scheme, r.MuBps)
 	probe := r.AddFlow(sch, rtt, 0)
 	reno := transport.NewSender(r.Net, sim.Time(float64(rtt)*ratio), cc.NewReno(), transport.Backlogged{}, r.Rng.Split("reno"))
 	reno.Start(0)

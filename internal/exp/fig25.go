@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"nimbus/internal/cc"
+	spec "nimbus/internal/scheme"
 	"nimbus/internal/sim"
 	"nimbus/internal/transport"
 )
@@ -26,7 +27,7 @@ type Fig25Row struct {
 func RunFig25Cell(pulse, share, rateMbps float64, mix string, seed int64, dur sim.Time) Fig25Row {
 	rtt := 50 * sim.Millisecond
 	r := NewRig(NetConfig{RateMbps: rateMbps, RTT: rtt, Buffer: 100 * sim.Millisecond, Seed: seed})
-	n := NewScheme("nimbus", r.MuBps, SchemeOpts{PulseFraction: pulse})
+	n := MustBuildScheme(spec.MustParse("nimbus").With("pulse", spec.Num(pulse)), r.MuBps)
 	r.AddFlow(n, rtt, 0)
 
 	crossRate := (1 - share) * r.MuBps

@@ -6,6 +6,7 @@ import (
 
 	"nimbus/internal/cc"
 	"nimbus/internal/core"
+	spec "nimbus/internal/scheme"
 	"nimbus/internal/sim"
 	"nimbus/internal/stats"
 	"nimbus/internal/transport"
@@ -25,7 +26,7 @@ type Fig26Row struct {
 // RunFig26Point runs one frequency.
 func RunFig26Point(freq float64, seed int64, dur sim.Time) Fig26Row {
 	r := NewRig(NetConfig{RateMbps: 96, RTT: 50 * sim.Millisecond, Buffer: 100 * sim.Millisecond, Seed: seed})
-	n := NewScheme("nimbus", r.MuBps, SchemeOpts{PulseFreq: freq})
+	n := MustBuildScheme(spec.MustParse("nimbus").With("fp", spec.Num(freq)), r.MuBps)
 	r.AddFlow(n, 50*sim.Millisecond, 0)
 	v := transport.NewSender(r.Net, 50*sim.Millisecond, cc.NewVivace(), transport.Backlogged{}, r.Rng.Split("vivace"))
 	v.Start(0)

@@ -1,0 +1,110 @@
+package exp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	spec "nimbus/internal/scheme"
+	"nimbus/internal/sim"
+)
+
+// ParseFlowMix parses the compact flow-mix syntax scenarios and CLIs use
+// to describe a heterogeneous flow set on one bottleneck:
+//
+//	MIX  := ITEM ("+" ITEM)*
+//	ITEM := SPEC ["*" COUNT] ["@" START [":" STOP]]
+//
+// SPEC is a scheme spec ("nimbus", "copa(delta=0.1)"); COUNT is how many
+// copies; START and STOP are seconds. "+" and "@" inside a spec's
+// parentheses do not delimit. Examples:
+//
+//	nimbus+cubic               — one Nimbus and one Cubic flow from t=0
+//	nimbus*2+cubic@10          — two Nimbus flows, a Cubic joining at 10 s
+//	nimbus+bbr@5:25            — a BBR flow active only during [5 s, 25 s)
+//	nimbus(mu=est)+copa(delta=0.1)*3
+func ParseFlowMix(mix string) ([]FlowSpec, error) {
+	items := spec.SplitTop(mix, '+')
+	if len(items) == 0 {
+		return nil, fmt.Errorf("exp: empty flow mix %q", mix)
+	}
+	out := make([]FlowSpec, 0, len(items))
+	for _, item := range items {
+		fs := FlowSpec{Count: 1}
+
+		rest := item
+		if at := lastTop(rest, '@'); at >= 0 {
+			window := rest[at+1:]
+			rest = rest[:at]
+			start, stop, ok := strings.Cut(window, ":")
+			fromSec, err := strconv.ParseFloat(strings.TrimSpace(start), 64)
+			if err != nil || fromSec < 0 {
+				return nil, fmt.Errorf("exp: flow mix item %q: bad start time %q", item, start)
+			}
+			fs.StartAt = sim.FromSeconds(fromSec)
+			if ok {
+				toSec, err := strconv.ParseFloat(strings.TrimSpace(stop), 64)
+				if err != nil || toSec <= fromSec {
+					return nil, fmt.Errorf("exp: flow mix item %q: bad stop time %q", item, stop)
+				}
+				fs.StopAt = sim.FromSeconds(toSec)
+			}
+		}
+		if star := lastTop(rest, '*'); star >= 0 {
+			n, err := strconv.Atoi(strings.TrimSpace(rest[star+1:]))
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("exp: flow mix item %q: bad count %q", item, rest[star+1:])
+			}
+			fs.Count = n
+			rest = rest[:star]
+		}
+		sp, err := spec.Parse(rest)
+		if err != nil {
+			return nil, fmt.Errorf("exp: flow mix item %q: %w", item, err)
+		}
+		fs.Scheme = sp
+		out = append(out, fs)
+	}
+	return out, nil
+}
+
+// FormatFlowMix renders flow specs back into the mix syntax (canonical
+// spec strings, counts and windows only when set).
+func FormatFlowMix(specs []FlowSpec) string {
+	parts := make([]string, len(specs))
+	for i, fs := range specs {
+		s := fs.Scheme.String()
+		if fs.Count > 1 {
+			s += fmt.Sprintf("*%d", fs.Count)
+		}
+		if fs.StopAt > 0 {
+			s += fmt.Sprintf("@%g:%g", fs.StartAt.Seconds(), fs.StopAt.Seconds())
+		} else if fs.StartAt > 0 {
+			s += fmt.Sprintf("@%g", fs.StartAt.Seconds())
+		}
+		parts[i] = s
+	}
+	return strings.Join(parts, "+")
+}
+
+// lastTop returns the index of the last occurrence of sep at parenthesis
+// depth zero, or -1.
+func lastTop(s string, sep byte) int {
+	depth := 0
+	last := -1
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			if depth > 0 {
+				depth--
+			}
+		case sep:
+			if depth == 0 {
+				last = i
+			}
+		}
+	}
+	return last
+}

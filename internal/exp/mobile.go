@@ -6,6 +6,7 @@ import (
 
 	"nimbus/internal/netem"
 	"nimbus/internal/runner"
+	spec "nimbus/internal/scheme"
 )
 
 // The mobile experiment family spends the time-varying link capability:
@@ -17,7 +18,7 @@ import (
 // fluctuating links the paper evaluates on.
 
 // MobileSchemes are the schemes the mobile family compares.
-var MobileSchemes = []string{"nimbus", "cubic", "bbr"}
+var MobileSchemes = spec.Specs("nimbus", "cubic", "bbr")
 
 // MobileGrid is the declarative sweep behind `nimbus-bench -run mobile`.
 func MobileGrid(seed int64, quick bool) runner.Grid {

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"nimbus/internal/runner"
+	spec "nimbus/internal/scheme"
 	"nimbus/internal/sim"
 )
 
@@ -39,7 +40,7 @@ func TestScheduleForScenario(t *testing.T) {
 func TestRunScenarioVaryingLink(t *testing.T) {
 	r := RunScenario(runner.Scenario{
 		Name: "vary", RateMbps: 48, RTTms: 40, BufferMs: 100,
-		Scheme: "cubic", LinkTrace: "cell-ramp", DurationSec: 10, Seed: 3,
+		Scheme: spec.MustParse("cubic"), LinkTrace: "cell-ramp", DurationSec: 10, Seed: 3,
 	})
 	if r.Err != "" {
 		t.Fatalf("scenario failed: %s", r.Err)
@@ -52,7 +53,7 @@ func TestRunScenarioVaryingLink(t *testing.T) {
 	if u := r.Metrics["utilization"]; u > 1.0+1e-9 {
 		t.Fatalf("utilization %v > 1", u)
 	}
-	bad := RunScenario(runner.Scenario{RateMbps: 48, RTTms: 40, Scheme: "cubic", LinkTrace: "nope", DurationSec: 1})
+	bad := RunScenario(runner.Scenario{RateMbps: 48, RTTms: 40, Scheme: spec.MustParse("cubic"), LinkTrace: "nope", DurationSec: 1})
 	if bad.Err == "" {
 		t.Fatal("unknown trace should produce an error row")
 	}
@@ -64,7 +65,7 @@ func TestRunScenarioVaryingLink(t *testing.T) {
 func TestRunScenarioDarkLinkEmits(t *testing.T) {
 	r := RunScenario(runner.Scenario{
 		Name: "dark", RateMbps: 24, RTTms: 40, BufferMs: 100,
-		Scheme: "cubic", RatePattern: "outage:0:10000", DurationSec: 5, Seed: 1,
+		Scheme: spec.MustParse("cubic"), RatePattern: "outage:0:10000", DurationSec: 5, Seed: 1,
 	})
 	if r.Err != "" {
 		t.Fatalf("dark scenario failed: %s", r.Err)

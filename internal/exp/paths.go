@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"nimbus/internal/netem"
+	spec "nimbus/internal/scheme"
 	"nimbus/internal/sim"
 	"nimbus/internal/stats"
 )
@@ -95,9 +96,13 @@ func RunPath(p PathProfile, scheme string, seed int64, dur sim.Time) PathRow {
 		cfg.Schedule = sched
 	}
 	r := NewRig(cfg)
-	// Real paths don't tell you µ: use the estimator, as the paper's
-	// implementation does.
-	sch := NewScheme(scheme, r.MuBps, SchemeOpts{EstimateMu: true})
+	// Real paths don't tell you µ: schemes that take a µ source use the
+	// estimator, as the paper's implementation does.
+	sp := spec.MustParse(scheme)
+	if spec.HasParam(sp.Name, "mu") {
+		sp = sp.With("mu", spec.Str("est"))
+	}
+	sch := MustBuildScheme(sp, r.MuBps)
 	probe := r.AddFlow(sch, p.RTT, 0)
 	if p.BgLoad > 0 {
 		newPoisson(r, p.RTT/2, p.BgLoad*r.MuBps).Start(0)

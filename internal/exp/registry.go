@@ -2,7 +2,12 @@ package exp
 
 import (
 	"fmt"
+	"os"
 	"sort"
+	"strings"
+
+	"nimbus/internal/netem"
+	spec "nimbus/internal/scheme"
 )
 
 // Experiment is a runnable reproduction of one paper artifact.
@@ -14,8 +19,8 @@ type Experiment struct {
 }
 
 // Registry maps experiment ids ("fig01".."fig26", "table1", "tableE",
-// "mobile") to their runners. cmd/nimbus-bench and the root benchmarks
-// both use it.
+// "mobile", "coexist") to their runners. cmd/nimbus-bench and the root
+// benchmarks both use it.
 var Registry = map[string]Experiment{
 	"fig01": {"fig01", "Motivating comparison (Cubic / delay-control / Nimbus)",
 		func(seed int64, quick bool) string { return FormatFig01(Fig01(seed)) }},
@@ -67,6 +72,8 @@ var Registry = map[string]Experiment{
 		func(seed int64, quick bool) string { return FormatFig25(Fig25(seed, quick)) }},
 	"fig26": {"fig26", "Detecting PCC-Vivace via pulse frequency",
 		func(seed int64, quick bool) string { return FormatFig26(Fig26(seed, quick)) }},
+	"coexist": {"coexist", "Heterogeneous flow mixes: coexistence and fairness",
+		func(seed int64, quick bool) string { return FormatCoexist(Coexist(seed, quick)) }},
 	"mobile": {"mobile", "Time-varying links: schemes x capacity-trace corpus",
 		func(seed int64, quick bool) string { return FormatMobile(Mobile(seed, quick)) }},
 	"table1": {"table1", "Classification by traffic class",
@@ -92,4 +99,70 @@ func Run(id string, seed int64, quick bool) (string, error) {
 		return "", fmt.Errorf("unknown experiment %q (known: %v)", id, IDs())
 	}
 	return e.Run(seed, quick), nil
+}
+
+// ListText renders the uniform -list-* flag output every CLI shares:
+// the scheme registry, the embedded trace corpus, and the experiment
+// index, concatenated in that order for whichever flags are set.
+func ListText(schemes, traces, experiments bool) (string, error) {
+	var b strings.Builder
+	if schemes {
+		b.WriteString(spec.FormatList())
+	}
+	if traces {
+		out, err := FormatTraceList()
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(out)
+	}
+	if experiments {
+		b.WriteString(FormatExperimentList())
+	}
+	return b.String(), nil
+}
+
+// HandleListFlags is the CLIs' shared dispatch for the uniform -list-*
+// flags: when any is set it prints the listing to stdout (exiting 1 on
+// error) and reports true, so each main can simply return. Keeping the
+// dispatch here, next to the renderers, means the three binaries cannot
+// drift in output, error path, or exit code.
+func HandleListFlags(schemes, traces, experiments bool) bool {
+	if !schemes && !traces && !experiments {
+		return false
+	}
+	out, err := ListText(schemes, traces, experiments)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+	return true
+}
+
+// FormatExperimentList renders the registry index, one "id title" line
+// per experiment — the text every CLI prints for -list-experiments.
+func FormatExperimentList() string {
+	var b strings.Builder
+	for _, id := range IDs() {
+		fmt.Fprintf(&b, "%-8s %s\n", id, Registry[id].Title)
+	}
+	return b.String()
+}
+
+// FormatTraceList renders the embedded capacity-trace corpus with each
+// trace's span and rate range — the text every CLI prints for
+// -list-traces.
+func FormatTraceList() (string, error) {
+	var b strings.Builder
+	for _, name := range netem.TraceNames() {
+		s, err := netem.LoadTrace(name)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%-12s %3d points, %5.1fs span, %5.1f-%5.1f Mbit/s (mean %5.1f)\n",
+			name, len(s.Points), s.Span().Seconds(),
+			s.MinBps()/1e6, s.MaxBps()/1e6, s.MeanBps(0, s.Span())/1e6)
+	}
+	return b.String(), nil
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"nimbus/internal/core"
+	"nimbus/internal/metrics"
 	"nimbus/internal/netem"
 	"nimbus/internal/runner"
 	"nimbus/internal/sim"
@@ -65,11 +66,14 @@ func RigForScenario(sc runner.Scenario) (*Rig, Scheme, *FlowProbe, error) {
 	}
 	cfg.Schedule = sched
 	r := NewRig(cfg)
-	opts := SchemeOpts{}
+	var mu core.MuEstimator
 	if r.Link.Varying() {
-		opts.Mu = LinkOracle{Link: r.Link}
+		mu = LinkOracle{Link: r.Link}
 	}
-	scheme := NewScheme(sc.Scheme, r.MuBps, opts)
+	scheme, err := BuildScheme(sc.Scheme, r.MuBps, mu)
+	if err != nil {
+		return nil, Scheme{}, nil, err
+	}
 	rtt := sim.FromSeconds(sc.RTTms / 1e3)
 	probe := r.AddFlow(scheme, rtt, 0)
 	crossRTT := rtt
@@ -99,6 +103,9 @@ func CrossElastic(kind string) bool {
 // against the cross traffic's known elasticity. The engine fills in wall
 // time.
 func RunScenario(sc runner.Scenario) runner.Result {
+	if sc.FlowMix != "" {
+		return RunFlowMixScenario(sc)
+	}
 	r, scheme, probe, err := RigForScenario(sc)
 	if err != nil {
 		return runner.Result{Scenario: sc, Err: err.Error()}
@@ -137,6 +144,78 @@ func RunScenario(sc runner.Scenario) runner.Result {
 		}
 		m["competitive_mode"] = mode
 		m["mode_accuracy"] = mt.Acc.Accuracy()
+	}
+	return runner.Result{Scenario: sc, Metrics: m, Events: r.Sch.Executed}
+}
+
+// RunFlowMixScenario is RunScenario for scenarios whose FlowMix is set:
+// the mix's heterogeneous flow set replaces the single scheme under
+// test, and the result carries per-flow throughput (flowNN_mbps) plus
+// fairness of the allocation (jain, jsd_uniform) alongside the usual
+// link-level metrics. The fairness window is the interval where every
+// flow in the mix is active.
+func RunFlowMixScenario(sc runner.Scenario) runner.Result {
+	fail := func(err error) runner.Result {
+		return runner.Result{Scenario: sc, Err: err.Error()}
+	}
+	specs, err := ParseFlowMix(sc.FlowMix)
+	if err != nil {
+		return fail(err)
+	}
+	cfg := NetConfigFor(sc)
+	sched, err := ScheduleForScenario(sc)
+	if err != nil {
+		return fail(err)
+	}
+	cfg.Schedule = sched
+	r := NewRig(cfg)
+	flows, err := r.AddFlowSpecs(specs...)
+	if err != nil {
+		return fail(err)
+	}
+	// Aggregate queueing delay comes from one shared recorder fed by
+	// every flow's deliveries: per-flow recorders are reservoirs over
+	// their own flow, so concatenating their samples would weight flows
+	// equally once a busy flow hits the reservoir cap, instead of by
+	// packets actually delivered.
+	sharedDelay := metrics.NewDelayRecorder(0, r.Rng.Split("mix-dlyrec"))
+	for _, f := range flows {
+		addDeliverTap(f.Probe.Sender, func(p *netem.Packet, now sim.Time) {
+			sharedDelay.Add(p.QueueDelay)
+		})
+	}
+	rtt := sim.FromSeconds(sc.RTTms / 1e3)
+	crossRTT := rtt
+	if sc.CrossRTTms > 0 {
+		crossRTT = sim.FromSeconds(sc.CrossRTTms / 1e3)
+	}
+	if err := AddCross(r, sc.Cross, sc.CrossRateMbps*1e6, crossRTT); err != nil {
+		return fail(err)
+	}
+	end := sim.FromSeconds(sc.DurationSec)
+	r.Sch.RunUntil(end)
+
+	st := FlowStats(flows, end)
+	m := map[string]float64{
+		"mean_mbps":       st.AggMbps,
+		"jain":            st.Jain,
+		"jsd_uniform":     st.JSDUniform,
+		"utilization":     r.Link.Utilization(),
+		"dropped_packets": float64(r.Link.DroppedPackets),
+	}
+	for i := range flows {
+		m[fmt.Sprintf("flow%02d_mbps", i)] = st.PerFlowMbps[i]
+	}
+	if len(sharedDelay.Samples()) > 0 {
+		d := sharedDelay.Summary()
+		m["qdelay_mean_ms"] = d.Mean
+		m["qdelay_p50_ms"] = d.P50
+		m["qdelay_p95_ms"] = d.P95
+	}
+	for k, v := range m {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			delete(m, k)
+		}
 	}
 	return runner.Result{Scenario: sc, Metrics: m, Events: r.Sch.Executed}
 }

@@ -57,7 +57,7 @@ func RunTable1Case(name string, seed int64, dur sim.Time) Table1Row {
 	if name == "bbr-deep" {
 		scheme = "nimbus-competitive"
 	}
-	n := NewScheme(scheme, r.MuBps, SchemeOpts{})
+	n := MustScheme(scheme, r.MuBps)
 	r.AddFlow(n, 50*sim.Millisecond, 0)
 
 	rtt := 50 * sim.Millisecond

@@ -29,7 +29,7 @@ func RunTableECell(bufBDP float64, prop sim.Time, aqm string, pieTargetBDP float
 		cfg.PIETarget = sim.Time(pieTargetBDP * float64(prop))
 	}
 	r := NewRig(cfg)
-	n := NewScheme("nimbus", r.MuBps, SchemeOpts{})
+	n := MustScheme("nimbus", r.MuBps)
 	r.AddFlow(n, prop, 0)
 
 	var truly bool

@@ -1,0 +1,54 @@
+package metrics
+
+import "math"
+
+// JainIndex is Jain's fairness index of an allocation: (Σx)²/(n·Σx²),
+// 1.0 for perfectly equal shares, 1/n when one flow takes everything.
+// It returns 0 for an empty or all-zero allocation.
+func JainIndex(xs []float64) float64 {
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq <= 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// JSDUniform is the Jensen-Shannon divergence, in bits, between the
+// normalized share vector and the equal-share (uniform) allocation: 0
+// for perfect fairness, approaching 1 as the allocation concentrates.
+// Unlike Jain's index it weighs starvation heavily — a flow at zero
+// share moves JSD much further than it moves Jain. It returns 0 for an
+// empty or all-zero allocation.
+func JSDUniform(xs []float64) float64 {
+	var total float64
+	for _, x := range xs {
+		if x > 0 {
+			total += x
+		}
+	}
+	if total <= 0 || len(xs) == 0 {
+		return 0
+	}
+	u := 1 / float64(len(xs))
+	var jsd float64
+	for _, x := range xs {
+		p := 0.0
+		if x > 0 {
+			p = x / total
+		}
+		m := (p + u) / 2
+		if p > 0 {
+			jsd += p * math.Log2(p/m) / 2
+		}
+		jsd += u * math.Log2(u/m) / 2
+	}
+	// Clamp tiny negative float error.
+	if jsd < 0 {
+		jsd = 0
+	}
+	return jsd
+}

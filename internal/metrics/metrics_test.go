@@ -98,3 +98,45 @@ func TestFCTBuckets(t *testing.T) {
 		}
 	}
 }
+
+func TestJainIndex(t *testing.T) {
+	if j := JainIndex([]float64{10, 10, 10, 10}); math.Abs(j-1) > 1e-12 {
+		t.Fatalf("equal shares: %v", j)
+	}
+	if j := JainIndex([]float64{40, 0, 0, 0}); math.Abs(j-0.25) > 1e-12 {
+		t.Fatalf("one-flow-takes-all: %v", j)
+	}
+	if j := JainIndex(nil); j != 0 {
+		t.Fatalf("empty: %v", j)
+	}
+	if j := JainIndex([]float64{0, 0}); j != 0 {
+		t.Fatalf("all-zero: %v", j)
+	}
+	mid := JainIndex([]float64{30, 10})
+	if mid <= 0.5 || mid >= 1 {
+		t.Fatalf("skewed shares should land in (1/n, 1): %v", mid)
+	}
+}
+
+func TestJSDUniform(t *testing.T) {
+	if d := JSDUniform([]float64{5, 5, 5}); math.Abs(d) > 1e-12 {
+		t.Fatalf("uniform shares: %v", d)
+	}
+	if d := JSDUniform(nil); d != 0 {
+		t.Fatalf("empty: %v", d)
+	}
+	// One flow starved: strictly positive, below the 1-bit ceiling.
+	d := JSDUniform([]float64{10, 10, 0})
+	if d <= 0 || d >= 1 {
+		t.Fatalf("starved flow: %v", d)
+	}
+	// Concentration hurts more than mild skew.
+	if JSDUniform([]float64{100, 1, 1}) <= JSDUniform([]float64{40, 30, 30}) {
+		t.Fatal("JSD should grow with concentration")
+	}
+	// Scale invariance: shares, not magnitudes.
+	a, b := JSDUniform([]float64{3, 1}), JSDUniform([]float64{300, 100})
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatalf("not scale invariant: %v vs %v", a, b)
+	}
+}

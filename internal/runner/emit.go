@@ -23,7 +23,7 @@ func WriteJSON(w io.Writer, rs []Result) error {
 func WriteCSV(w io.Writer, rs []Result) error {
 	names := MetricNames(rs)
 	cw := csv.NewWriter(w)
-	header := []string{"name", "scheme", "rate_mbps", "link_trace", "rate_pattern",
+	header := []string{"name", "scheme", "flow_mix", "rate_mbps", "link_trace", "rate_pattern",
 		"rtt_ms", "buffer_ms", "aqm", "cross", "cross_rate_mbps", "duration_sec", "seed"}
 	header = append(header, names...)
 	header = append(header, "events", "wall_sec", "err")
@@ -33,7 +33,7 @@ func WriteCSV(w io.Writer, rs []Result) error {
 	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 	for _, r := range rs {
 		sc := r.Scenario
-		row := []string{sc.Name, sc.Scheme, g(sc.RateMbps), sc.LinkTrace, sc.RatePattern,
+		row := []string{sc.Name, sc.Scheme.String(), sc.FlowMix, g(sc.RateMbps), sc.LinkTrace, sc.RatePattern,
 			g(sc.RTTms), g(sc.BufferMs), sc.AQM,
 			sc.Cross, g(sc.CrossRateMbps), g(sc.DurationSec), strconv.FormatInt(sc.Seed, 10)}
 		for _, n := range names {

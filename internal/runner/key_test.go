@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"reflect"
 	"testing"
+
+	"nimbus/internal/scheme"
 )
 
 // keyExempt lists the Scenario fields deliberately excluded from Key():
@@ -26,14 +28,16 @@ func TestKeyCoversEveryField(t *testing.T) {
 		f := typ.Field(i)
 		probe := base
 		fv := reflect.ValueOf(&probe).Elem().Field(i)
-		switch f.Type.Kind() {
-		case reflect.String:
+		switch {
+		case f.Type == reflect.TypeOf(scheme.Spec{}):
+			fv.Set(reflect.ValueOf(scheme.MustParse("probe-scheme")))
+		case f.Type.Kind() == reflect.String:
 			fv.SetString("probe-" + f.Name)
-		case reflect.Float64:
+		case f.Type.Kind() == reflect.Float64:
 			fv.SetFloat(123.456)
-		case reflect.Int64:
+		case f.Type.Kind() == reflect.Int64:
 			fv.SetInt(987654321)
-		case reflect.Bool:
+		case f.Type.Kind() == reflect.Bool:
 			fv.SetBool(true)
 		default:
 			t.Fatalf("field %s has kind %s: teach this test how to perturb it", f.Name, f.Type.Kind())

@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 
+	"nimbus/internal/scheme"
 	"nimbus/internal/sim"
 )
 
@@ -27,7 +29,7 @@ func fakeRun(sc Scenario) Result {
 func testGrid() Grid {
 	return Grid{
 		Base:      Scenario{RateMbps: 96, RTTms: 50, BufferMs: 100, DurationSec: 30, Cross: "poisson", CrossRateMbps: 48},
-		Schemes:   []string{"nimbus", "cubic", "bbr"},
+		Schemes:   scheme.Specs("nimbus", "cubic", "bbr"),
 		RTTsMs:    []float64{25, 50, 100},
 		BuffersMs: []float64{50, 100},
 		Seeds:     []int64{1, 2},
@@ -56,7 +58,7 @@ func TestGridExpand(t *testing.T) {
 	// Expansion order and derived seeds are stable.
 	again := testGrid().Expand()
 	for i := range scs {
-		if scs[i] != again[i] {
+		if !reflect.DeepEqual(scs[i], again[i]) {
 			t.Fatalf("expansion not stable at %d: %+v vs %+v", i, scs[i], again[i])
 		}
 	}
@@ -85,6 +87,34 @@ func TestGridSeedIsolation(t *testing.T) {
 	one := g.Expand()
 	if len(one) != 1 || one[0].RunSeed != scs[0].RunSeed {
 		t.Fatalf("derived seed depends on grid position: %d vs %d", one[0].RunSeed, scs[0].RunSeed)
+	}
+}
+
+func TestGridFlowMixCollapsesSchemeAxis(t *testing.T) {
+	g := Grid{
+		Base:      Scenario{RateMbps: 96, DurationSec: 10},
+		Schemes:   scheme.Specs("nimbus", "cubic"),
+		FlowMixes: []string{"nimbus+cubic", "nimbus*2+bbr"},
+	}
+	scs := g.Expand()
+	// The scheme axis is ignored when flow mixes run, so it must not
+	// multiply the grid (or scenarios would differ only in derived seed
+	// while claiming to differ in scheme).
+	if len(scs) != 2 {
+		t.Fatalf("expanded %d scenarios, want 2 (one per mix)", len(scs))
+	}
+	for _, sc := range scs {
+		if !sc.Scheme.Zero() {
+			t.Fatalf("flow-mix scenario kept a scheme: %+v", sc)
+		}
+		if sc.FlowMix == "" {
+			t.Fatalf("scenario lost its mix: %+v", sc)
+		}
+	}
+	// Same for a base-level mix.
+	g2 := Grid{Base: Scenario{FlowMix: "nimbus+cubic"}, Schemes: scheme.Specs("nimbus", "cubic")}
+	if scs := g2.Expand(); len(scs) != 1 || !scs[0].Scheme.Zero() {
+		t.Fatalf("base mix should collapse the scheme axis: %+v", scs)
 	}
 }
 
@@ -133,9 +163,9 @@ func TestRunnerProgressAndOrder(t *testing.T) {
 }
 
 func TestRunnerPanicBecomesError(t *testing.T) {
-	scs := []Scenario{{Name: "boom", Scheme: "nope"}}
+	scs := []Scenario{{Name: "boom", Scheme: scheme.New("nope")}}
 	rs := (&Runner{Workers: 2}).Run(scs, func(sc Scenario) Result {
-		panic("unknown scheme " + sc.Scheme)
+		panic("unknown scheme " + sc.Scheme.String())
 	})
 	if rs[0].Err == "" || !strings.Contains(rs[0].Err, "unknown scheme") {
 		t.Fatalf("panic not captured: %+v", rs[0])

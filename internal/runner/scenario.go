@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 
+	"nimbus/internal/scheme"
 	"nimbus/internal/sim"
 )
 
@@ -40,8 +41,20 @@ type Scenario struct {
 	LinkTrace   string `json:"link_trace,omitempty"`
 	RatePattern string `json:"rate_pattern,omitempty"`
 
-	// Scheme under test (internal/exp.NewScheme names).
-	Scheme string `json:"scheme"`
+	// Scheme under test: a typed scheme spec ("nimbus", "copa(delta=0.1)",
+	// "nimbus(pulse=0.1,mu=est)"; see the internal/scheme registry).
+	// Ignored when FlowMix is set.
+	Scheme scheme.Spec `json:"scheme"`
+
+	// FlowMix, when non-empty, replaces the single scheme under test with
+	// a heterogeneous flow set: "+"-separated items of the form
+	// SPEC[*COUNT][@STARTs[:STOPs]], e.g. "nimbus*2+cubic@10" (two Nimbus
+	// flows at t=0 and one Cubic flow joining at t=10s). internal/exp
+	// parses it into FlowSpecs and reports per-flow and fairness metrics.
+	// Store the canonical form (exp.FormatFlowMix of exp.ParseFlowMix, as
+	// the CLIs do): the string enters Key() verbatim, so equivalent
+	// spellings would otherwise derive different seeds.
+	FlowMix string `json:"flow_mix,omitempty"`
 
 	// Cross traffic (internal/exp.AddCross kinds) and its offered rate.
 	Cross         string  `json:"cross,omitempty"`
@@ -75,9 +88,15 @@ func (s Scenario) EffectiveSeed() int64 {
 // enforces that invariant by reflection — adding a field without
 // extending Key (or the test's exemption list) fails the build.
 func (s Scenario) Key() string {
-	return fmt.Sprintf("rate=%g/trace=%s/pattern=%s/rtt=%g/buf=%g/aqm=%s/pie=%g/scheme=%s/cross=%s:%g@%g/dur=%g/seed=%d",
+	key := fmt.Sprintf("rate=%g/trace=%s/pattern=%s/rtt=%g/buf=%g/aqm=%s/pie=%g/scheme=%s/cross=%s:%g@%g/dur=%g/seed=%d",
 		s.RateMbps, s.LinkTrace, s.RatePattern, s.RTTms, s.BufferMs, s.AQM, s.PIETargetMs, s.Scheme,
 		s.Cross, s.CrossRateMbps, s.CrossRTTms, s.DurationSec, s.Seed)
+	// Appended only when set, so every pre-existing scenario keeps its
+	// exact key (and therefore its derived seed and results).
+	if s.FlowMix != "" {
+		key += "/flows=" + s.FlowMix
+	}
+	return key
 }
 
 // label is the human-readable name Grid.Expand assigns, listing only the
@@ -99,7 +118,9 @@ func (s Scenario) label(varying []string) string {
 		case "aqm":
 			parts = append(parts, "aqm="+s.AQM)
 		case "scheme":
-			parts = append(parts, s.Scheme)
+			parts = append(parts, s.Scheme.String())
+		case "flows":
+			parts = append(parts, "flows="+s.FlowMix)
 		case "cross":
 			parts = append(parts, fmt.Sprintf("cross=%s:%g", s.Cross, s.CrossRateMbps))
 		case "seed":
@@ -107,7 +128,10 @@ func (s Scenario) label(varying []string) string {
 		}
 	}
 	if len(parts) == 0 {
-		return s.Scheme
+		if s.FlowMix != "" {
+			return s.FlowMix
+		}
+		return s.Scheme.String()
 	}
 	return strings.Join(parts, "/")
 }
@@ -123,20 +147,21 @@ type Cross struct {
 type Grid struct {
 	Base Scenario `json:"base"`
 
-	RatesMbps    []float64 `json:"rates_mbps,omitempty"`
-	LinkTraces   []string  `json:"link_traces,omitempty"`
-	RatePatterns []string  `json:"rate_patterns,omitempty"`
-	RTTsMs       []float64 `json:"rtts_ms,omitempty"`
-	BuffersMs    []float64 `json:"buffers_ms,omitempty"`
-	AQMs         []string  `json:"aqms,omitempty"`
-	Schemes      []string  `json:"schemes,omitempty"`
-	Crosses      []Cross   `json:"crosses,omitempty"`
-	Seeds        []int64   `json:"seeds,omitempty"`
+	RatesMbps    []float64     `json:"rates_mbps,omitempty"`
+	LinkTraces   []string      `json:"link_traces,omitempty"`
+	RatePatterns []string      `json:"rate_patterns,omitempty"`
+	RTTsMs       []float64     `json:"rtts_ms,omitempty"`
+	BuffersMs    []float64     `json:"buffers_ms,omitempty"`
+	AQMs         []string      `json:"aqms,omitempty"`
+	Schemes      []scheme.Spec `json:"schemes,omitempty"`
+	FlowMixes    []string      `json:"flow_mixes,omitempty"`
+	Crosses      []Cross       `json:"crosses,omitempty"`
+	Seeds        []int64       `json:"seeds,omitempty"`
 }
 
 // Expand returns the scenarios of the grid in a stable order (outermost
-// axis first: scheme, cross, rate, trace, pattern, rtt, buffer, aqm,
-// seed). Every scenario gets a per-run seed derived from its own
+// axis first: scheme, flow mix, cross, rate, trace, pattern, rtt,
+// buffer, aqm, seed). Every scenario gets a per-run seed derived from its own
 // parameters via sim.DeriveSeed, so results do not depend on expansion
 // order or worker count, and a Name naming the varying axes.
 func (g Grid) Expand() []Scenario {
@@ -166,7 +191,19 @@ func (g Grid) Expand() []Scenario {
 	}
 	schemes := g.Schemes
 	if len(schemes) == 0 {
-		schemes = []string{g.Base.Scheme}
+		schemes = []scheme.Spec{g.Base.Scheme}
+	}
+	mixes := g.FlowMixes
+	if len(mixes) == 0 {
+		mixes = []string{g.Base.FlowMix}
+	}
+	// A flow mix replaces the scheme under test, so sweeping both axes
+	// would emit duplicate scenarios whose scheme= key component differs
+	// but whose runs are identical in everything except the derived
+	// seed — results that look scheme-dependent while the scheme was
+	// never used. FlowMixes therefore collapses the scheme axis.
+	if len(g.FlowMixes) > 0 || g.Base.FlowMix != "" {
+		schemes = []scheme.Spec{{}}
 	}
 	crosses := g.Crosses
 	if len(crosses) == 0 {
@@ -182,7 +219,7 @@ func (g Grid) Expand() []Scenario {
 		name string
 		n    int
 	}{
-		{"scheme", len(schemes)}, {"cross", len(crosses)}, {"rate", len(rates)},
+		{"scheme", len(schemes)}, {"flows", len(mixes)}, {"cross", len(crosses)}, {"rate", len(rates)},
 		{"trace", len(traces)}, {"pattern", len(patterns)},
 		{"rtt", len(rtts)}, {"buf", len(bufs)}, {"aqm", len(aqms)}, {"seed", len(seeds)},
 	} {
@@ -191,32 +228,35 @@ func (g Grid) Expand() []Scenario {
 		}
 	}
 
-	out := make([]Scenario, 0, len(schemes)*len(crosses)*len(rates)*len(traces)*len(patterns)*len(rtts)*len(bufs)*len(aqms)*len(seeds))
-	for _, scheme := range schemes {
-		for _, cross := range crosses {
-			for _, rate := range rates {
-				for _, trace := range traces {
-					for _, pattern := range patterns {
-						for _, rtt := range rtts {
-							for _, buf := range bufs {
-								for _, aqm := range aqms {
-									for _, seed := range seeds {
-										sc := g.Base
-										sc.Scheme = scheme
-										sc.Cross = cross.Kind
-										sc.CrossRateMbps = cross.RateMbps
-										sc.RateMbps = rate
-										sc.LinkTrace = trace
-										sc.RatePattern = pattern
-										sc.RTTms = rtt
-										sc.BufferMs = buf
-										sc.AQM = aqm
-										sc.Seed = seed
-										sc.RunSeed = sim.DeriveSeed(seed, sc.Key())
-										if sc.Name == "" || sc.Name == g.Base.Name {
-											sc.Name = sc.label(varying)
+	out := make([]Scenario, 0, len(schemes)*len(mixes)*len(crosses)*len(rates)*len(traces)*len(patterns)*len(rtts)*len(bufs)*len(aqms)*len(seeds))
+	for _, sp := range schemes {
+		for _, mix := range mixes {
+			for _, cross := range crosses {
+				for _, rate := range rates {
+					for _, trace := range traces {
+						for _, pattern := range patterns {
+							for _, rtt := range rtts {
+								for _, buf := range bufs {
+									for _, aqm := range aqms {
+										for _, seed := range seeds {
+											sc := g.Base
+											sc.Scheme = sp
+											sc.FlowMix = mix
+											sc.Cross = cross.Kind
+											sc.CrossRateMbps = cross.RateMbps
+											sc.RateMbps = rate
+											sc.LinkTrace = trace
+											sc.RatePattern = pattern
+											sc.RTTms = rtt
+											sc.BufferMs = buf
+											sc.AQM = aqm
+											sc.Seed = seed
+											sc.RunSeed = sim.DeriveSeed(seed, sc.Key())
+											if sc.Name == "" || sc.Name == g.Base.Name {
+												sc.Name = sc.label(varying)
+											}
+											out = append(out, sc)
 										}
-										out = append(out, sc)
 									}
 								}
 							}

@@ -1,0 +1,59 @@
+package scheme
+
+import "testing"
+
+// FuzzParseSpec asserts the parser's two safety properties on arbitrary
+// input: it never panics, and every accepted spec round-trips through its
+// canonical form (Parse(s).String() is a fixed point that reparses to the
+// same Spec). The seed corpus under testdata/fuzz covers every syntactic
+// feature; `go test` replays it on every run, `go test -fuzz=FuzzParseSpec`
+// explores beyond it.
+func FuzzParseSpec(f *testing.F) {
+	seeds := []string{
+		"cubic",
+		"nimbus",
+		"nimbus(pulse=0.25,mu=est)",
+		"nimbus(multiflow)",
+		"copa(delta=0.1)",
+		"nimbus-vegas(multiflow=true,fp=6)",
+		"fixedwindow(cwnd=-12.5)",
+		"NIMBUS( Pulse = 0.1 )",
+		"a(b=1e300,c=true,d=tok_en.x)",
+		"bad(",
+		"(x=1)",
+		"a(b=1,b=2)",
+		"a(=)",
+		"a(b==c)",
+		"x(y=inf)",
+		"x(y=nan)",
+		"x(y=0x1p3)",
+		"\x00\xff",
+		"a(b=1))",
+		",,,",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		sp, err := Parse(s) // must not panic
+		if err != nil {
+			return
+		}
+		canon := sp.String()
+		sp2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted input %q does not reparse: %v", canon, s, err)
+		}
+		if got := sp2.String(); got != canon {
+			t.Fatalf("canonical form not a fixed point: %q -> %q -> %q", s, canon, got)
+		}
+		if !sp2.Equal(sp) {
+			t.Fatalf("round trip changed the spec: %q: %#v vs %#v", s, sp, sp2)
+		}
+		// SplitList must never panic either, and rejoining its items must
+		// preserve every parseable item.
+		for _, item := range SplitList(s) {
+			_, _ = Parse(item)
+		}
+	})
+}

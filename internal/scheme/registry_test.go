@@ -1,0 +1,194 @@
+package scheme_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	// Importing the implementation packages runs their init-time
+	// registrations — the same way every binary gets its registry.
+	_ "nimbus/internal/cc"
+	_ "nimbus/internal/core"
+	"nimbus/internal/scheme"
+	"nimbus/internal/transport"
+)
+
+const testMuBps = 96e6
+
+func TestRegistryNonEmpty(t *testing.T) {
+	want := []string{
+		"bbr", "compound", "copa", "copa-default", "cubic", "fixedwindow",
+		"nimbus", "nimbus-competitive", "nimbus-copa", "nimbus-delay",
+		"nimbus-reno", "nimbus-vegas", "reno", "vegas", "vivace",
+	}
+	got := scheme.Names()
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("registered schemes = %v, want %v", got, want)
+	}
+}
+
+// TestEverySchemeRoundTripsAndBuilds is the registry's contract: each
+// registered scheme parses from its bare name, round-trips through the
+// canonical string form with every parameter made explicit, constructs
+// successfully with defaults, and rejects unknown and mistyped
+// parameters.
+func TestEverySchemeRoundTripsAndBuilds(t *testing.T) {
+	for _, info := range scheme.List() {
+		info := info
+		t.Run(info.Name, func(t *testing.T) {
+			if info.Doc == "" {
+				t.Error("registered without a doc string")
+			}
+
+			// Bare name round-trips.
+			sp, err := scheme.Parse(info.Name)
+			if err != nil {
+				t.Fatalf("name does not parse: %v", err)
+			}
+			if sp.String() != info.Name {
+				t.Fatalf("canonical form of bare name = %q", sp.String())
+			}
+
+			// Defaults construct.
+			ctrl, err := scheme.Build(sp, scheme.BuildContext{MuBps: testMuBps})
+			if err != nil {
+				t.Fatalf("Build with defaults: %v", err)
+			}
+			if ctrl == nil {
+				t.Fatal("Build returned nil controller")
+			}
+
+			// Every parameter, set explicitly to its default, still parses,
+			// round-trips, and builds.
+			full := sp
+			for _, p := range info.Params {
+				full = full.With(p.Name, p.Default)
+			}
+			reparsed, err := scheme.Parse(full.String())
+			if err != nil {
+				t.Fatalf("explicit-params form %q does not parse: %v", full, err)
+			}
+			if !reparsed.Equal(full) {
+				t.Fatalf("round trip changed spec: %q vs %q", full, reparsed)
+			}
+			if _, err := scheme.Build(reparsed, scheme.BuildContext{MuBps: testMuBps}); err != nil {
+				t.Fatalf("Build with explicit defaults: %v", err)
+			}
+
+			// Unknown parameters are rejected.
+			if _, err := scheme.Build(sp.With("no_such_param", scheme.Num(1)), scheme.BuildContext{MuBps: testMuBps}); err == nil {
+				t.Error("unknown parameter was accepted")
+			}
+
+			// Kind mismatches are rejected.
+			for _, p := range info.Params {
+				wrong := scheme.Str("x")
+				if p.Kind == scheme.KindString {
+					wrong = scheme.Num(1)
+				}
+				if _, err := scheme.Build(sp.With(p.Name, wrong), scheme.BuildContext{MuBps: testMuBps}); err == nil {
+					t.Errorf("param %s accepted a %s value", p.Name, wrong.Kind)
+				}
+			}
+
+			// Enum violations are rejected.
+			for _, p := range info.Params {
+				if len(p.Enum) > 0 {
+					if _, err := scheme.Build(sp.With(p.Name, scheme.Str("bogus-enum")), scheme.BuildContext{MuBps: testMuBps}); err == nil {
+						t.Errorf("enum param %s accepted an out-of-set value", p.Name)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestBuildUnknownScheme(t *testing.T) {
+	if _, err := scheme.Build(scheme.MustParse("quic"), scheme.BuildContext{MuBps: testMuBps}); err == nil {
+		t.Fatal("unknown scheme built successfully")
+	}
+}
+
+// controllerConstructors maps every exported New* constructor in
+// internal/cc and internal/core that returns a congestion controller to
+// the registered scheme(s) that construct it. Helper constructors that do
+// not return a transport.Controller are listed as exempt.
+//
+// TestEveryControllerRegistered walks both packages' sources: if you add
+// a controller constructor, this test fails until you either register a
+// scheme for it (scheme.Register in the package's register.go) and map it
+// here, or consciously exempt it.
+var controllerConstructors = map[string]string{
+	// internal/cc
+	"NewCubic":           "cubic",
+	"NewReno":            "reno",
+	"NewVegas":           "vegas",
+	"NewCopa":            "copa",
+	"NewCopaDefaultMode": "copa-default",
+	"NewBBR":             "bbr",
+	"NewVivace":          "vivace",
+	"NewCompound":        "compound",
+	"NewFixedWindow":     "fixedwindow",
+	// internal/core
+	"NewNimbus": "nimbus", // the whole nimbus-* family goes through it
+	// Exempt: not congestion controllers.
+	"NewRateEstimator":  "",
+	"NewDetector":       "",
+	"NewMaxReceiveRate": "",
+}
+
+func TestEveryControllerRegistered(t *testing.T) {
+	for _, dir := range []string{"../cc", "../core"} {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, nil, 0)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", dir, err)
+		}
+		for _, pkg := range pkgs {
+			for file, f := range pkg.Files {
+				if strings.HasSuffix(file, "_test.go") {
+					continue
+				}
+				for _, decl := range f.Decls {
+					fn, ok := decl.(*ast.FuncDecl)
+					if !ok || fn.Recv != nil || !fn.Name.IsExported() || !strings.HasPrefix(fn.Name.Name, "New") {
+						continue
+					}
+					schemeName, known := controllerConstructors[fn.Name.Name]
+					if !known {
+						t.Errorf("%s: constructor %s is not mapped in controllerConstructors: register a scheme for it (see %s/register.go) and add the mapping, or exempt it",
+							dir, fn.Name.Name, dir)
+						continue
+					}
+					if schemeName == "" {
+						continue // exempt helper
+					}
+					if _, ok := scheme.Lookup(schemeName); !ok {
+						t.Errorf("constructor %s maps to scheme %q which is not registered", fn.Name.Name, schemeName)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRegisterRejectsAmbiguousStringValues(t *testing.T) {
+	for _, bad := range []scheme.Param{
+		{Name: "v", Kind: scheme.KindString, Default: scheme.Str("1")},
+		{Name: "v", Kind: scheme.KindString, Default: scheme.Str("true")},
+		{Name: "v", Kind: scheme.KindString, Default: scheme.Str("a"), Enum: []string{"a", "2"}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Register accepted ambiguous string value %+v", bad)
+				}
+			}()
+			scheme.Register("ambiguous-test", "doc", []scheme.Param{bad}, func(scheme.BuildContext, scheme.Args) (transport.Controller, error) {
+				return nil, nil
+			})
+		}()
+	}
+}

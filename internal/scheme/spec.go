@@ -1,0 +1,324 @@
+// Package scheme is the typed congestion-control scheme API: a
+// serializable Spec (a scheme name plus typed parameters) with a
+// canonical string form — "nimbus(pulse=0.25,mu=est)", "cubic",
+// "copa(delta=0.1)" — and a registry that the implementation packages
+// (internal/cc, internal/core) populate at init time. Everything that
+// names a scheme — experiment scenarios, CLI flags, sweep grids, the
+// public facade — goes through Spec; everything that constructs one goes
+// through Build. The package deliberately knows nothing about the
+// experiment harness: factories receive only a BuildContext (the nominal
+// link rate and an optional µ-estimator override) and their resolved
+// parameters.
+package scheme
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind is the type of a parameter value.
+type Kind int
+
+const (
+	// KindFloat is a finite float64 parameter.
+	KindFloat Kind = iota
+	// KindBool is a true/false flag.
+	KindBool
+	// KindString is a token parameter, optionally restricted to an enum.
+	KindString
+)
+
+// String names the kind for docs and error messages.
+func (k Kind) String() string {
+	switch k {
+	case KindFloat:
+		return "float"
+	case KindBool:
+		return "bool"
+	case KindString:
+		return "string"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Value is one typed parameter value.
+type Value struct {
+	Kind Kind
+	Num  float64 // KindFloat
+	Bool bool    // KindBool
+	Str  string  // KindString
+}
+
+// Num returns a float value.
+func Num(v float64) Value { return Value{Kind: KindFloat, Num: v} }
+
+// Flag returns a bool value.
+func Flag(v bool) Value { return Value{Kind: KindBool, Bool: v} }
+
+// Str returns a string value.
+func Str(s string) Value { return Value{Kind: KindString, Str: s} }
+
+// String renders the value in its canonical spec-string form.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindFloat:
+		return strconv.FormatFloat(v.Num, 'g', -1, 64)
+	case KindBool:
+		if v.Bool {
+			return "true"
+		}
+		return "false"
+	default:
+		return v.Str
+	}
+}
+
+// Spec is a parsed scheme reference: a registered scheme name plus the
+// parameters the caller set explicitly. Parameters left unset take the
+// registered defaults at Build time, and are omitted from the canonical
+// string — so the canonical form of a default-configured scheme is just
+// its name, which keeps scenario keys (and therefore derived seeds)
+// stable when a scheme grows a new parameter.
+type Spec struct {
+	Name   string
+	Params map[string]Value
+}
+
+// New returns a Spec for name with no explicit parameters.
+func New(name string) Spec { return Spec{Name: name} }
+
+// With returns a copy of the spec with one parameter set.
+func (s Spec) With(key string, v Value) Spec {
+	p := make(map[string]Value, len(s.Params)+1)
+	for k, pv := range s.Params {
+		p[k] = pv
+	}
+	p[key] = v
+	return Spec{Name: s.Name, Params: p}
+}
+
+// String renders the canonical form: the lowercase name, then any
+// explicit parameters sorted by key, each value canonically formatted.
+// Parse(s.String()) reproduces s for any Spec that Parse can produce.
+func (s Spec) String() string {
+	if len(s.Params) == 0 {
+		return s.Name
+	}
+	keys := make([]string, 0, len(s.Params))
+	for k := range s.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('(')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(s.Params[k].String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Zero reports whether the spec is the zero value (no scheme named).
+func (s Spec) Zero() bool { return s.Name == "" && len(s.Params) == 0 }
+
+// Equal reports whether two specs are the same scheme with the same
+// explicit parameters.
+func (s Spec) Equal(o Spec) bool { return s.String() == o.String() }
+
+// MarshalJSON encodes the spec as its canonical string, so JSON results
+// and grids read (and diff) the same as CLI flags.
+func (s Spec) MarshalJSON() ([]byte, error) {
+	return []byte(strconv.Quote(s.String())), nil
+}
+
+// UnmarshalJSON parses a canonical spec string. An empty string decodes
+// to the zero Spec (scenarios with no scheme under test).
+func (s *Spec) UnmarshalJSON(data []byte) error {
+	str, err := strconv.Unquote(string(data))
+	if err != nil {
+		return fmt.Errorf("scheme: spec must be a JSON string: %w", err)
+	}
+	if str == "" {
+		*s = Spec{}
+		return nil
+	}
+	sp, err := Parse(str)
+	if err != nil {
+		return err
+	}
+	*s = sp
+	return nil
+}
+
+// MustParse parses a spec string, panicking on error. For literals.
+func MustParse(s string) Spec {
+	sp, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return sp
+}
+
+// Specs parses a list of spec strings (panicking on error), for literal
+// scheme lists in experiment definitions.
+func Specs(ss ...string) []Spec {
+	out := make([]Spec, len(ss))
+	for i, s := range ss {
+		out[i] = MustParse(s)
+	}
+	return out
+}
+
+// Parse parses a spec string: NAME or NAME(key=value,...). Names and
+// keys are lowercased; values are numbers, true/false, or bare tokens.
+// A bare key with no "=value" is shorthand for key=true. Whitespace
+// around any token is ignored. Parse validates syntax only — whether the
+// name is registered and the parameters are declared is Build's job, so
+// specs for schemes compiled out of a binary still parse and print.
+func Parse(input string) (Spec, error) {
+	s := strings.TrimSpace(input)
+	if s == "" {
+		return Spec{}, fmt.Errorf("scheme: empty spec")
+	}
+	name := s
+	params := ""
+	if i := strings.IndexByte(s, '('); i >= 0 {
+		if !strings.HasSuffix(s, ")") {
+			return Spec{}, fmt.Errorf("scheme: %q: missing closing parenthesis", input)
+		}
+		name, params = s[:i], s[i+1:len(s)-1]
+	}
+	name = strings.ToLower(strings.TrimSpace(name))
+	if err := checkToken(name, "scheme name"); err != nil {
+		return Spec{}, fmt.Errorf("scheme: %q: %w", input, err)
+	}
+	sp := Spec{Name: name}
+	params = strings.TrimSpace(params)
+	if params == "" {
+		return sp, nil
+	}
+	sp.Params = make(map[string]Value)
+	for _, part := range strings.Split(params, ",") {
+		part = strings.TrimSpace(part)
+		key, val, hasVal := strings.Cut(part, "=")
+		key = strings.ToLower(strings.TrimSpace(key))
+		if err := checkToken(key, "parameter name"); err != nil {
+			return Spec{}, fmt.Errorf("scheme: %q: %w", input, err)
+		}
+		if _, dup := sp.Params[key]; dup {
+			return Spec{}, fmt.Errorf("scheme: %q: duplicate parameter %q", input, key)
+		}
+		if !hasVal {
+			sp.Params[key] = Flag(true)
+			continue
+		}
+		v, err := parseValue(strings.TrimSpace(val))
+		if err != nil {
+			return Spec{}, fmt.Errorf("scheme: %q: parameter %q: %w", input, key, err)
+		}
+		sp.Params[key] = v
+	}
+	return sp, nil
+}
+
+// parseValue infers the value's kind: number, bool literal, or token.
+// Non-finite "numbers" (inf, nan) fall through to tokens so that float
+// parameters are always finite.
+func parseValue(s string) (Value, error) {
+	if s == "" {
+		return Value{}, fmt.Errorf("empty value")
+	}
+	ls := strings.ToLower(s)
+	switch ls {
+	case "true":
+		return Flag(true), nil
+	case "false":
+		return Flag(false), nil
+	}
+	if f, err := strconv.ParseFloat(ls, 64); err == nil && !math.IsInf(f, 0) && !math.IsNaN(f) {
+		return Num(f), nil
+	}
+	if err := checkToken(ls, "value"); err != nil {
+		return Value{}, err
+	}
+	return Str(ls), nil
+}
+
+// checkToken enforces the token charset for names, keys, and string
+// values: lowercase letters, digits, and [-_.], starting with a letter
+// or digit.
+func checkToken(s, what string) error {
+	if s == "" {
+		return fmt.Errorf("empty %s", what)
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+		case (c == '-' || c == '_' || c == '.') && i > 0:
+		default:
+			return fmt.Errorf("bad %s %q: character %q not allowed", what, s, c)
+		}
+	}
+	return nil
+}
+
+// SplitList splits a comma-separated list of spec strings, ignoring
+// commas inside parentheses, so CLI flags can sweep parameterized specs:
+// "nimbus(pulse=0.1,mu=est),cubic" → ["nimbus(pulse=0.1,mu=est)",
+// "cubic"]. Empty items are dropped.
+func SplitList(s string) []string { return SplitTop(s, ',') }
+
+// SplitTop splits s on sep at parenthesis depth zero, trimming items and
+// dropping empty ones. Flow-mix syntax splits on '+' the same way spec
+// lists split on ','.
+func SplitTop(s string, sep byte) []string {
+	var out []string
+	depth, start := 0, 0
+	flush := func(end int) {
+		if item := strings.TrimSpace(s[start:end]); item != "" {
+			out = append(out, item)
+		}
+	}
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			if depth > 0 {
+				depth--
+			}
+		case sep:
+			if depth == 0 {
+				flush(i)
+				start = i + 1
+			}
+		}
+	}
+	flush(len(s))
+	return out
+}
+
+// ParseList parses a comma-separated list of spec strings (commas inside
+// parentheses do not split).
+func ParseList(s string) ([]Spec, error) {
+	items := SplitList(s)
+	out := make([]Spec, 0, len(items))
+	for _, it := range items {
+		sp, err := Parse(it)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sp)
+	}
+	return out, nil
+}

@@ -1,0 +1,145 @@
+package scheme
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestParseCanonical(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"cubic", "cubic"},
+		{" cubic ", "cubic"},
+		{"CUBIC", "cubic"},
+		{"nimbus()", "nimbus"},
+		{"nimbus(pulse=0.25)", "nimbus(pulse=0.25)"},
+		{"nimbus(pulse=0.250)", "nimbus(pulse=0.25)"},
+		{"nimbus( mu = est , pulse=0.1 )", "nimbus(mu=est,pulse=0.1)"},
+		{"nimbus(pulse=0.1,mu=est)", "nimbus(mu=est,pulse=0.1)"}, // params sort
+		{"nimbus(multiflow)", "nimbus(multiflow=true)"},          // bare key = true
+		{"nimbus(multiflow=TRUE)", "nimbus(multiflow=true)"},
+		{"copa(delta=0.1)", "copa(delta=0.1)"},
+		{"nimbus(fp=1e1)", "nimbus(fp=10)"},
+		{"nimbus-vegas(multiflow=true)", "nimbus-vegas(multiflow=true)"},
+		{"fixedwindow(cwnd=-1)", "fixedwindow(cwnd=-1)"},
+	}
+	for _, c := range cases {
+		sp, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		if got := sp.String(); got != c.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.in, got, c.want)
+		}
+		// Canonical form must be a fixed point.
+		again, err := Parse(sp.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", sp.String(), err)
+		}
+		if again.String() != sp.String() {
+			t.Errorf("canonical form of %q not stable: %q -> %q", c.in, sp.String(), again.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "  ", "(x=1)", "cubic)", "nimbus(", "nimbus(pulse=0.25",
+		"nimbus(pulse=)", "nimbus(=1)", "nimbus(pulse=0.1,pulse=0.2)",
+		"nimbus(pulse=0.1))", "nimbus(a b=1)", "-cubic", "cu bic",
+		"nimbus(x=@)", "nimbus(,)",
+	}
+	for _, s := range bad {
+		if sp, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) = %v, want error", s, sp)
+		}
+	}
+}
+
+func TestParseValueKinds(t *testing.T) {
+	sp := MustParse("x(a=1.5,b=true,c=est,d=false)")
+	want := map[string]Value{
+		"a": Num(1.5), "b": Flag(true), "c": Str("est"), "d": Flag(false),
+	}
+	if !reflect.DeepEqual(sp.Params, want) {
+		t.Fatalf("params = %#v, want %#v", sp.Params, want)
+	}
+}
+
+func TestSpecWith(t *testing.T) {
+	base := MustParse("nimbus")
+	got := base.With("mu", Str("est"))
+	if got.String() != "nimbus(mu=est)" {
+		t.Fatalf("With: %s", got)
+	}
+	if base.String() != "nimbus" {
+		t.Fatalf("With mutated the receiver: %s", base)
+	}
+}
+
+func TestSpecJSON(t *testing.T) {
+	type wrap struct {
+		S Spec `json:"s"`
+	}
+	in := wrap{S: MustParse("nimbus(mu=est,pulse=0.1)")}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"s":"nimbus(mu=est,pulse=0.1)"}` {
+		t.Fatalf("marshal: %s", data)
+	}
+	var out wrap
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.S.Equal(in.S) {
+		t.Fatalf("round trip: %s != %s", out.S, in.S)
+	}
+	// The zero Spec survives a round trip (scenarios with no scheme).
+	data, err = json.Marshal(wrap{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.S.Zero() {
+		t.Fatalf("zero spec round trip: %#v", out.S)
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"cubic", []string{"cubic"}},
+		{"nimbus,cubic,bbr", []string{"nimbus", "cubic", "bbr"}},
+		{"nimbus(pulse=0.1,mu=est),cubic", []string{"nimbus(pulse=0.1,mu=est)", "cubic"}},
+		{" a , b ", []string{"a", "b"}},
+		{"a,,b,", []string{"a", "b"}},
+		{"", nil},
+		{"a(b,c),d(e),f", []string{"a(b,c)", "d(e)", "f"}},
+	}
+	for _, c := range cases {
+		if got := SplitList(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("SplitList(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseList(t *testing.T) {
+	sps, err := ParseList("nimbus(mu=est),cubic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sps) != 2 || sps[0].String() != "nimbus(mu=est)" || sps[1].String() != "cubic" {
+		t.Fatalf("ParseList: %v", sps)
+	}
+	if _, err := ParseList("cubic,!bad"); err == nil {
+		t.Fatal("want error for bad item")
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"nimbus/internal/core"
 	"nimbus/internal/exp"
 	"nimbus/internal/netem"
+	"nimbus/internal/scheme"
 	"nimbus/internal/sim"
 	"nimbus/internal/transport"
 )
@@ -118,20 +119,59 @@ type (
 	Rig = exp.Rig
 	// NetConfig configures a Rig.
 	NetConfig = exp.NetConfig
-	// Scheme is a named congestion controller.
+	// Scheme is a constructed congestion controller with its spec.
 	Scheme = exp.Scheme
-	// SchemeOpts tunes scheme construction.
-	SchemeOpts = exp.SchemeOpts
+	// SchemeSpec is a typed, serializable scheme reference: a registered
+	// name plus explicit parameters, with the canonical string form
+	// "nimbus(pulse=0.25,mu=est)".
+	SchemeSpec = scheme.Spec
+	// SchemeParam declares one typed parameter of a registered scheme.
+	SchemeParam = scheme.Param
+	// SchemeInfo describes a registered scheme (name, doc, parameters).
+	SchemeInfo = scheme.Info
+	// FlowSpec declares a group of flows on a Rig: scheme spec, count,
+	// start/stop times, and application source.
+	FlowSpec = exp.FlowSpec
+	// Flow is one instantiated flow of a FlowSpec.
+	Flow = exp.Flow
 )
 
 // NewRig builds an emulated bottleneck.
 func NewRig(cfg NetConfig) *Rig { return exp.NewRig(cfg) }
 
-// NewScheme builds a congestion controller by name ("nimbus", "cubic",
-// "bbr", ...; see internal/exp.NewScheme for the full list).
-func NewScheme(name string, muBps float64, opts SchemeOpts) Scheme {
-	return exp.NewScheme(name, muBps, opts)
+// ParseScheme parses a scheme spec string ("nimbus", "copa(delta=0.1)").
+func ParseScheme(s string) (SchemeSpec, error) { return scheme.Parse(s) }
+
+// MustParseScheme is ParseScheme for known-good literals; panics on error.
+func MustParseScheme(s string) SchemeSpec { return scheme.MustParse(s) }
+
+// BuildScheme constructs a scheme from its spec via the registry. muBps
+// is the nominal bottleneck rate for µ oracles; mu optionally overrides
+// the µ estimator (pass nil outside time-varying links).
+func BuildScheme(sp SchemeSpec, muBps float64, mu MuEstimator) (Scheme, error) {
+	return exp.BuildScheme(sp, muBps, mu)
 }
+
+// MustScheme parses a spec string and builds it, panicking on error —
+// the one-liner for experiments:
+//
+//	s := nimbus.MustScheme("nimbus(pulse=0.1,mu=est)", 96e6)
+//	rig.AddFlow(s, 50*nimbus.Millisecond, 0)
+func MustScheme(s string, muBps float64) Scheme { return exp.MustScheme(s, muBps) }
+
+// Schemes lists every registered scheme with its typed parameters,
+// defaults, and docs (what the CLIs print for -list-schemes).
+func Schemes() []SchemeInfo { return scheme.List() }
+
+// RegisterScheme adds a scheme to the registry, making it available to
+// spec strings, scenarios, and sweeps everywhere in the harness.
+func RegisterScheme(name, doc string, params []SchemeParam, factory scheme.Factory) {
+	scheme.Register(name, doc, params, factory)
+}
+
+// ParseFlowMix parses the "nimbus*2+cubic@10" flow-mix syntax into
+// FlowSpecs for Rig.AddFlowSpecs (see exp.ParseFlowMix).
+func ParseFlowMix(mix string) ([]FlowSpec, error) { return exp.ParseFlowMix(mix) }
 
 // RunExperiment regenerates one of the paper's tables or figures by id
 // ("fig01".."fig26", "table1", "tableE") and returns the textual report.

@@ -27,8 +27,8 @@ func TestFacadeEstimateZ(t *testing.T) {
 
 func TestFacadeExperimentRegistry(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 28 {
-		t.Fatalf("got %d experiments, want 28 (25 figures, table1, tableE, mobile)", len(ids))
+	if len(ids) != 29 {
+		t.Fatalf("got %d experiments, want 29 (25 figures, table1, tableE, mobile, coexist)", len(ids))
 	}
 	out, err := RunExperiment("fig07", 1, true)
 	if err != nil {
@@ -43,11 +43,20 @@ func TestFacadeExperimentRegistry(t *testing.T) {
 }
 
 func TestFacadeSchemes(t *testing.T) {
-	for _, name := range []string{"nimbus", "cubic", "bbr"} {
-		s := NewScheme(name, 96e6, SchemeOpts{})
+	for _, name := range []string{"nimbus", "cubic", "bbr", "nimbus(pulse=0.1,mu=est)"} {
+		s := MustScheme(name, 96e6)
 		if s.Ctrl == nil {
 			t.Fatalf("scheme %s nil", name)
 		}
+	}
+	if len(Schemes()) < 15 {
+		t.Fatalf("scheme registry lists %d schemes", len(Schemes()))
+	}
+	if sp := MustParseScheme("copa(delta=0.1)"); sp.String() != "copa(delta=0.1)" {
+		t.Fatalf("spec round trip: %s", sp)
+	}
+	if _, err := ParseScheme("not a spec!"); err == nil {
+		t.Fatal("ParseScheme accepted garbage")
 	}
 	if NewCubic() == nil || NewReno() == nil || NewVegas() == nil ||
 		NewCopa() == nil || NewBBR() == nil || NewVivace() == nil || NewCompound() == nil {
