@@ -24,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"nimbus/internal/exp"
@@ -32,6 +34,13 @@ import (
 )
 
 func main() {
+	// main wraps realMain so the deferred profile writers run before the
+	// process exits — including on error exits, whose profiles are exactly
+	// the ones worth inspecting.
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
 		list            = flag.Bool("list", false, "alias for -list-experiments")
 		listExperiments = flag.Bool("list-experiments", false, "list experiment ids and exit")
@@ -43,17 +52,46 @@ func main() {
 		workers         = flag.Int("workers", 0, "worker pool size for experiment grids (0 = all cores, 1 = sequential)")
 		bench           = flag.Bool("benchmark", false, "run the canonical scenario sweep and report events/sec per scenario")
 		benchOut        = flag.String("bench-out", "BENCH_runner.json", "where -benchmark writes its results (.json or .csv)")
+		cpuprofile      = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
+		memprofile      = flag.String("memprofile", "", "write a heap profile to this file when the run completes")
 	)
 	flag.Parse()
 	exp.Workers = *workers
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+
 	switch {
 	case exp.HandleListFlags(*listSchemes, *listTraces, *list || *listExperiments):
 	case *bench:
-		runBenchmark(*seed, *workers, *benchOut)
+		return runBenchmark(*seed, *workers, *benchOut)
 	case *run == "":
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	default:
 		ids := []string{*run}
 		if *run == "all" {
@@ -64,11 +102,12 @@ func main() {
 			out, err := exp.Run(id, *seed, !*full)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Printf("==== %s (%s) [%.1fs wall] ====\n%s\n", id, exp.Registry[id].Title, time.Since(start).Seconds(), out)
 		}
 	}
+	return 0
 }
 
 // benchGrid is the canonical perf-tracking sweep: every scheme family the
@@ -90,7 +129,7 @@ func benchGrid(seed int64) runner.Grid {
 	}
 }
 
-func runBenchmark(seed int64, workers int, out string) {
+func runBenchmark(seed int64, workers int, out string) int {
 	scs := benchGrid(seed).Expand()
 	fmt.Fprintf(os.Stderr, "benchmark: %d scenarios on %d workers\n", len(scs), effectiveWorkers(workers))
 	start := time.Now()
@@ -103,7 +142,7 @@ func runBenchmark(seed int64, workers int, out string) {
 		events += r.Events
 		if r.Err != "" {
 			fmt.Fprintf(os.Stderr, "scenario %s failed: %s\n", r.Scenario.Name, r.Err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	fmt.Printf("%-36s %12s %10s %12s\n", "scenario", "events", "wall s", "events/s")
@@ -116,10 +155,11 @@ func runBenchmark(seed int64, workers int, out string) {
 	if out != "" {
 		if err := runner.WriteFile(out, rs); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", out)
 	}
+	return 0
 }
 
 func effectiveWorkers(w int) int {

@@ -33,10 +33,27 @@ func DefaultDetectorConfig() DetectorConfig {
 // cross-traffic rate estimate ẑ (§3.3). η (Eq. 3) compares the FFT
 // magnitude at fp with the largest magnitude in (fp, 2fp); a pronounced
 // peak at fp only appears when the cross traffic reacts to the pulses.
+//
+// The detector is built to be allocation-free per tick: it owns an
+// fft.Plan (precomputed permutation and twiddle tables) plus scratch
+// buffers, and it caches the spectrum per push generation, so the first
+// spectral read after AddSample pays one in-place FFT and every further
+// read in the same tick — a watcher probing both pulse frequencies, the
+// multi-pulser check, the η guard's Mean — is free.
 type Detector struct {
 	cfg  DetectorConfig
 	ring *stats.Ring
 	buf  []float64
+
+	plan *fft.Plan
+	// Cached per-generation spectrum. spec.Mag is owned by the detector
+	// and overwritten at the first read after the next AddSample; callers
+	// must not retain it across samples.
+	spec     fft.Spectrum
+	specMean float64 // window mean computed with the snapshot, for Mean()
+	specGen  uint64
+	haveSpec bool
+	gen      uint64 // bumped on every AddSample
 }
 
 // NewDetector returns a detector; zero-value fields of cfg take the
@@ -56,14 +73,21 @@ func NewDetector(cfg DetectorConfig) *Detector {
 	if n < 8 {
 		n = 8
 	}
-	return &Detector{cfg: cfg, ring: stats.NewRing(n)}
+	return &Detector{
+		cfg:  cfg,
+		ring: stats.NewRing(n),
+		plan: fft.NewPlan(n, 1/cfg.SampleInterval.Seconds()),
+	}
 }
 
 // Config returns the detector's configuration.
 func (d *Detector) Config() DetectorConfig { return d.cfg }
 
 // AddSample appends one ẑ sample (call every SampleInterval).
-func (d *Detector) AddSample(z float64) { d.ring.Push(z) }
+func (d *Detector) AddSample(z float64) {
+	d.ring.Push(z)
+	d.gen++
+}
 
 // Ready reports whether a full FFT window of samples has accumulated.
 func (d *Detector) Ready() bool { return d.ring.Full() }
@@ -71,25 +95,35 @@ func (d *Detector) Ready() bool { return d.ring.Full() }
 // SampleHz returns the sampling frequency of the ẑ series.
 func (d *Detector) SampleHz() float64 { return 1 / d.cfg.SampleInterval.Seconds() }
 
-// Mean returns the mean of the samples currently in the window.
+// Mean returns the mean of the samples currently in the window, O(1).
+// When the cached spectrum is fresh (the common case: the η guard reads
+// Mean right after Elasticity each tick) this is exactly the mean the
+// spectrum's DC removal computed; otherwise it falls back to the ring's
+// running windowed sum.
 func (d *Detector) Mean() float64 {
-	d.buf = d.ring.Snapshot(d.buf)
-	if len(d.buf) == 0 {
+	if d.haveSpec && d.specGen == d.gen {
+		return d.specMean
+	}
+	n := d.ring.Len()
+	if n == 0 {
 		return 0
 	}
-	s := 0.0
-	for _, v := range d.buf {
-		s += v
-	}
-	return s / float64(len(d.buf))
+	return d.ring.Sum() / float64(n)
 }
 
 // Spectrum returns the current one-sided magnitude spectrum of the ẑ
 // window (mean removed). Useful for diagnostics and for reproducing
-// Fig. 5 directly.
+// Fig. 5 directly. The returned spectrum's Mag buffer is owned by the
+// detector and valid until the next AddSample; repeated calls within one
+// tick reuse the cached transform.
 func (d *Detector) Spectrum() fft.Spectrum {
-	d.buf = d.ring.Snapshot(d.buf)
-	return fft.Analyze(d.buf, d.SampleHz())
+	if !d.haveSpec || d.specGen != d.gen {
+		d.buf = d.ring.Snapshot(d.buf)
+		d.spec, d.specMean = d.plan.AnalyzeMeanInto(d.spec, d.buf)
+		d.specGen = d.gen
+		d.haveSpec = true
+	}
+	return d.spec
 }
 
 // Elasticity computes η (Eq. 3) for pulse frequency fp: the magnitude at

@@ -228,9 +228,11 @@ func (n *Nimbus) Init(env *transport.Env) {
 	var tick func()
 	tick = func() {
 		n.tick()
-		n.env.Sch.After(interval, tick)
+		n.env.Sch.AfterFunc(interval, tick)
 	}
-	n.env.Sch.After(interval, tick)
+	// AfterFunc rides on pooled timers: the 100 Hz measurement tick is
+	// never cancelled, so it needs no handle and no per-tick allocation.
+	n.env.Sch.AfterFunc(interval, tick)
 }
 
 // OnAck feeds measurements and the active sub-algorithm.

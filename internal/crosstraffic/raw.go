@@ -27,6 +27,15 @@ type RawSource struct {
 	gen     int // invalidates scheduled arrivals after rate changes/stops
 	seq     uint64
 
+	// Hot-path reuse: one prebound arrival callback rides on pooled
+	// scheduler events with the boxed generation as its argument (re-boxed
+	// only when the generation changes), and delivered packets come back
+	// through the attachment's receive hook for recycling — so steady-state
+	// injection allocates nothing.
+	arriveFn func(arg any)
+	genArg   any
+	pktFree  []*netem.Packet
+
 	SentPackets uint64
 }
 
@@ -43,7 +52,7 @@ func NewPoisson(net *netem.Network, rtt sim.Time, rateBps float64, rng *sim.Rand
 
 func newRaw(net *netem.Network, rtt sim.Time, rateBps float64, poisson bool, rng *sim.Rand) *RawSource {
 	att := net.Attach(rtt)
-	return &RawSource{
+	r := &RawSource{
 		att:     att,
 		sch:     net.Sch,
 		rng:     rng,
@@ -51,6 +60,14 @@ func newRaw(net *netem.Network, rtt sim.Time, rateBps float64, poisson bool, rng
 		poisson: poisson,
 		size:    netem.DefaultMSS,
 	}
+	r.arriveFn = r.arrive
+	r.genArg = r.gen
+	// Raw packets generate no ACKs; the receive hook's only job is to
+	// return them to the free list once the delivery taps have seen them.
+	att.Receive = func(p *netem.Packet, now sim.Time) {
+		r.pktFree = append(r.pktFree, p)
+	}
+	return r
 }
 
 // ID returns the flow id at the bottleneck.
@@ -63,30 +80,57 @@ func (r *RawSource) Start(at sim.Time) {
 			return
 		}
 		r.running = true
-		r.gen++
-		r.scheduleNext(r.gen)
+		r.bumpGen()
+		r.scheduleNext()
 	})
 }
 
 // Stop halts injection (takes effect immediately).
 func (r *RawSource) Stop() {
 	r.running = false
-	r.gen++
+	r.bumpGen()
 }
 
 // SetRate changes the mean rate; 0 pauses the source.
 func (r *RawSource) SetRate(bps float64) {
 	r.rateBps = bps
 	if r.running {
-		r.gen++
-		r.scheduleNext(r.gen)
+		r.bumpGen()
+		r.scheduleNext()
 	}
 }
 
 // RateBps returns the configured mean rate.
 func (r *RawSource) RateBps() float64 { return r.rateBps }
 
-func (r *RawSource) scheduleNext(gen int) {
+// bumpGen invalidates in-flight arrival events and re-boxes the generation
+// argument (the only allocation on a rate change, never per packet).
+func (r *RawSource) bumpGen() {
+	r.gen++
+	r.genArg = r.gen
+}
+
+// arrive is the pooled-event callback for one packet arrival: inject,
+// then schedule the next arrival of the same generation.
+func (r *RawSource) arrive(arg any) {
+	if arg.(int) != r.gen || !r.running {
+		return
+	}
+	r.seq++
+	r.SentPackets++
+	var p *netem.Packet
+	if n := len(r.pktFree); n > 0 {
+		p = r.pktFree[n-1]
+		r.pktFree = r.pktFree[:n-1]
+		*p = netem.Packet{Seq: r.seq, Size: r.size, Raw: true}
+	} else {
+		p = &netem.Packet{Seq: r.seq, Size: r.size, Raw: true}
+	}
+	r.att.Send(p)
+	r.scheduleNext()
+}
+
+func (r *RawSource) scheduleNext() {
 	if !r.running || r.rateBps <= 0 {
 		return
 	}
@@ -95,13 +139,5 @@ func (r *RawSource) scheduleNext(gen int) {
 	if r.poisson {
 		gap = r.rng.ExpTime(mean)
 	}
-	r.sch.After(gap, func() {
-		if gen != r.gen || !r.running {
-			return
-		}
-		r.seq++
-		r.SentPackets++
-		r.att.Send(&netem.Packet{Seq: r.seq, Size: r.size, Raw: true})
-		r.scheduleNext(gen)
-	})
+	r.sch.AfterArg(gap, r.arriveFn, r.genArg)
 }

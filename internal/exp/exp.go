@@ -391,9 +391,9 @@ func (r *Rig) CopaModeProbe(c *cc.Copa, truth func(now sim.Time) bool, warmup si
 	var tick func()
 	tick = func() {
 		acc.Observe(r.Sch.Now(), c.Competitive(), truth(r.Sch.Now()))
-		r.Sch.After(10*sim.Millisecond, tick)
+		r.Sch.AfterFunc(10*sim.Millisecond, tick)
 	}
-	r.Sch.After(10*sim.Millisecond, tick)
+	r.Sch.AfterFunc(10*sim.Millisecond, tick)
 	return acc
 }
 

@@ -57,8 +57,8 @@ func runFig09Spec(sp spec.Spec, seed int64, dur sim.Time, loadFrac float64) Fig0
 	row.RateCDF = stats.CDF(rates, 100)
 	rtts := probe.RTTms.Samples()
 	row.RTTCDF = stats.CDF(rtts, 100)
-	row.MedianRTTms = stats.Median(rtts)
-	row.P95RTTms = stats.Percentile(rtts, 0.95)
+	rttQs := stats.Percentiles(rtts, 0.5, 0.95) // one sort for both quantiles
+	row.MedianRTTms, row.P95RTTms = rttQs[0], rttQs[1]
 	for _, rec := range w.Completed() {
 		row.CrossFCTs = append(row.CrossFCTs, metrics.FCTRecord{SizeBytes: rec.Size, FCT: rec.FCT})
 	}

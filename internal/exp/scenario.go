@@ -118,12 +118,12 @@ func RunScenario(sc runner.Scenario) runner.Result {
 	}
 	r.Sch.RunUntil(end)
 
-	d := probe.Delay.Summary()
+	dMean, dQs := probe.Delay.MeanQuantiles(0.5, 0.95)
 	m := map[string]float64{
 		"mean_mbps":       probe.MeanMbps(0, end),
-		"qdelay_mean_ms":  d.Mean,
-		"qdelay_p50_ms":   d.P50,
-		"qdelay_p95_ms":   d.P95,
+		"qdelay_mean_ms":  dMean,
+		"qdelay_p50_ms":   dQs[0],
+		"qdelay_p95_ms":   dQs[1],
 		"utilization":     r.Link.Utilization(),
 		"dropped_packets": float64(r.Link.DroppedPackets),
 	}
@@ -207,10 +207,10 @@ func RunFlowMixScenario(sc runner.Scenario) runner.Result {
 		m[fmt.Sprintf("flow%02d_mbps", i)] = st.PerFlowMbps[i]
 	}
 	if len(sharedDelay.Samples()) > 0 {
-		d := sharedDelay.Summary()
-		m["qdelay_mean_ms"] = d.Mean
-		m["qdelay_p50_ms"] = d.P50
-		m["qdelay_p95_ms"] = d.P95
+		dMean, dQs := sharedDelay.MeanQuantiles(0.5, 0.95)
+		m["qdelay_mean_ms"] = dMean
+		m["qdelay_p50_ms"] = dQs[0]
+		m["qdelay_p95_ms"] = dQs[1]
 	}
 	for k, v := range m {
 		if math.IsNaN(v) || math.IsInf(v, 0) {

@@ -90,38 +90,15 @@ type Spectrum struct {
 // Analyze computes the one-sided magnitude spectrum of the real signal
 // samples taken at sampleHz. The mean is removed first (the detector cares
 // about fluctuations, not the DC rate), and the signal is zero-padded to
-// the next power of two.
+// the next power of two. It is a compatibility wrapper over a one-shot
+// Plan; hot paths that analyze the same window size repeatedly should hold
+// a Plan and call AnalyzeInto to skip the per-call table building and
+// allocations.
 func Analyze(samples []float64, sampleHz float64) Spectrum {
-	n := len(samples)
-	if n == 0 {
+	if len(samples) == 0 {
 		return Spectrum{}
 	}
-	mean := 0.0
-	for _, v := range samples {
-		mean += v
-	}
-	mean /= float64(n)
-	size := NextPow2(n)
-	buf := make([]complex128, size)
-	for i, v := range samples {
-		buf[i] = complex(v-mean, 0)
-	}
-	FFT(buf)
-	half := size/2 + 1
-	mag := make([]float64, half)
-	scale := 1 / float64(n) // normalize by true sample count, not padded size
-	for k := 0; k < half; k++ {
-		m := cmplx.Abs(buf[k]) * scale
-		if k != 0 && k != size/2 {
-			m *= 2
-		}
-		mag[k] = m
-	}
-	return Spectrum{
-		Mag:        mag,
-		Resolution: sampleHz / float64(size),
-		N:          size,
-	}
+	return NewPlan(len(samples), sampleHz).AnalyzeInto(Spectrum{}, samples)
 }
 
 // BinFor returns the index of the bin closest to freq Hz.

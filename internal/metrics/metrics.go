@@ -5,6 +5,9 @@
 package metrics
 
 import (
+	"math"
+	"sort"
+
 	"nimbus/internal/sim"
 	"nimbus/internal/stats"
 )
@@ -92,6 +95,29 @@ func (d *DelayRecorder) Samples() []float64 { return d.samples }
 
 // Summary summarizes the samples.
 func (d *DelayRecorder) Summary() stats.Summary { return stats.Summarize(d.samples) }
+
+// MeanQuantiles returns the sample mean and the requested quantiles with a
+// single sort of one copy — what report emission needs (mean, p50, p95)
+// without Summary's full order-statistic battery. The mean is accumulated
+// over the sorted copy exactly like Summary's, so switching emission from
+// Summary() to MeanQuantiles changes no reported value. Empty input yields
+// NaNs throughout.
+func (d *DelayRecorder) MeanQuantiles(ps ...float64) (mean float64, qs []float64) {
+	if len(d.samples) == 0 {
+		qs = make([]float64, len(ps))
+		for i := range qs {
+			qs[i] = math.NaN()
+		}
+		return math.NaN(), qs
+	}
+	cp := append([]float64(nil), d.samples...)
+	sort.Float64s(cp)
+	var w stats.Welford
+	for _, x := range cp {
+		w.Add(x)
+	}
+	return w.Mean(), stats.PercentilesSorted(cp, ps...)
+}
 
 // AccuracyTracker scores a binary classifier against ground truth over
 // time, integrating the fraction of time the prediction is correct

@@ -126,13 +126,15 @@ func (l *Link) startNext() {
 
 // armTx schedules the in-flight packet's completion at the current rate.
 // At rate zero (an outage) no completion is scheduled; the pending rate
-// change event re-arms when capacity returns.
+// change event re-arms when capacity returns. Rearm recycles the one
+// completion-timer struct, so a varying link stays allocation-free per
+// packet like the constant-rate fast path.
 func (l *Link) armTx() {
 	if l.rateBps <= 0 {
-		l.txTimer = nil
 		return
 	}
-	l.txTimer = l.Sch.After(sim.FromSeconds(l.txBitsLeft/l.rateBps), l.txVarDone)
+	at := l.Sch.Now() + sim.FromSeconds(l.txBitsLeft/l.rateBps)
+	l.txTimer = l.Sch.Rearm(l.txTimer, at, l.txVarDone)
 }
 
 // applyRateChange is the scheduler event at every schedule transition: it
@@ -149,10 +151,7 @@ func (l *Link) applyRateChange() {
 				l.txBitsLeft = 0
 			}
 			l.txUpdated = now
-			if l.txTimer != nil {
-				l.txTimer.Cancel()
-				l.txTimer = nil
-			}
+			l.txTimer.Cancel()
 			l.rateBps = newRate
 			l.armTx()
 		} else {
@@ -180,7 +179,6 @@ func (l *Link) finishVarTx() {
 	now := l.Sch.Now()
 	p := l.txPkt
 	l.txPkt = nil
-	l.txTimer = nil
 	// Busy time is the packet's wall occupancy of the link, including any
 	// stall while the rate was zero, so Utilization stays <= 1.
 	l.busyTime += now - l.lastStart

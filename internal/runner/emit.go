@@ -31,11 +31,12 @@ func WriteCSV(w io.Writer, rs []Result) error {
 		return err
 	}
 	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	row := make([]string, 0, len(header)) // reused across rows
 	for _, r := range rs {
 		sc := r.Scenario
-		row := []string{sc.Name, sc.Scheme.String(), sc.FlowMix, g(sc.RateMbps), sc.LinkTrace, sc.RatePattern,
+		row = append(row[:0], sc.Name, sc.Scheme.String(), sc.FlowMix, g(sc.RateMbps), sc.LinkTrace, sc.RatePattern,
 			g(sc.RTTms), g(sc.BufferMs), sc.AQM,
-			sc.Cross, g(sc.CrossRateMbps), g(sc.DurationSec), strconv.FormatInt(sc.Seed, 10)}
+			sc.Cross, g(sc.CrossRateMbps), g(sc.DurationSec), strconv.FormatInt(sc.Seed, 10))
 		for _, n := range names {
 			if v, ok := r.Metrics[n]; ok {
 				row = append(row, g(v))

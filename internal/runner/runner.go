@@ -101,11 +101,12 @@ func runGuarded(run RunFunc, sc Scenario) (r Result) {
 }
 
 // Progress returns an OnProgress callback that writes one status line per
-// completed run to w (typically os.Stderr).
+// completed run to w (typically os.Stderr), including the run's simulator
+// throughput in events per wall-clock second.
 func Progress(w io.Writer) func(done, total int, r Result) {
 	start := time.Now()
 	return func(done, total int, r Result) {
-		status := fmt.Sprintf("%.1fs", r.WallSec)
+		status := fmt.Sprintf("%.1fs %.0f ev/s", r.WallSec, r.EventsPerSec())
 		if r.Err != "" {
 			status = "ERROR: " + r.Err
 		}

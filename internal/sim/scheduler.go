@@ -1,13 +1,12 @@
 package sim
 
-import "container/heap"
-
 // Timer is a handle to a scheduled event. Cancelling a Timer prevents its
 // callback from running; cancelling an already-fired or already-cancelled
 // timer is a no-op.
 //
 // Timers returned by At/After are owned by the caller and are never
-// recycled. Events scheduled through AtFunc/AfterFunc/AfterArg return no
+// recycled by the scheduler — though the caller can recycle one through
+// Rearm. Events scheduled through AtFunc/AfterFunc/AfterArg return no
 // handle; their Timer structs are pooled and reused by the scheduler, which
 // makes them allocation-free in steady state — that is the right API for
 // high-frequency fire-and-forget events (per-packet transmissions,
@@ -18,15 +17,25 @@ type Timer struct {
 	fn        func()
 	afn       func(arg any)
 	arg       any
+	sch       *Scheduler
+	idx       int // position in the event heap; -1 when not queued
 	cancelled bool
 	fired     bool
 	pooled    bool
 }
 
-// Cancel prevents the timer's callback from running.
+// Cancel prevents the timer's callback from running. The event is removed
+// from the queue immediately (and a pooled timer is released back to the
+// free list on the spot), so cancelled events never linger in the heap and
+// a cancelled caller-owned handle is immediately recyclable via Rearm.
 func (t *Timer) Cancel() {
-	if t != nil {
-		t.cancelled = true
+	if t == nil || t.cancelled || t.fired {
+		return
+	}
+	t.cancelled = true
+	if t.idx >= 0 && t.sch != nil {
+		t.sch.events.remove(t)
+		t.sch.release(t)
 	}
 }
 
@@ -44,24 +53,115 @@ func (t *Timer) run() {
 	}
 }
 
+// eventHeap is a 4-ary min-heap of pending timers, specialized to *Timer.
+// It orders events by (at, seq) — the same strict total order the previous
+// container/heap implementation used, and since every (at, seq) pair is
+// unique, pop order (and therefore every simulation result) is identical.
+// The 4-ary layout halves tree depth versus binary, and the manual
+// siftUp/siftDown avoid container/heap's interface boxing and indirect
+// Less/Swap calls on the simulator's single hottest structure. Each timer
+// carries its heap index so Cancel can remove it in O(log n) instead of
+// leaving garbage to be drained at pop time.
 type eventHeap []*Timer
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// timerLess is the event order: timestamp, then FIFO among equal times.
+func timerLess(a, b *Timer) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq // FIFO among same-time events
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Timer)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+
+func (h *eventHeap) push(t *Timer) {
+	es := append(*h, t)
+	*h = es
+	t.idx = len(es) - 1
+	es.siftUp(t.idx)
+}
+
+func (h eventHeap) siftUp(i int) {
+	t := h[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !timerLess(t, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		h[i].idx = i
+		i = p
+	}
+	h[i] = t
+	t.idx = i
+}
+
+// siftDown reports whether the element at i moved.
+func (h eventHeap) siftDown(i int) bool {
+	t := h[i]
+	n := len(h)
+	start := i
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		hi := c + 4
+		if hi > n {
+			hi = n
+		}
+		for j := c + 1; j < hi; j++ {
+			if timerLess(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !timerLess(h[m], t) {
+			break
+		}
+		h[i] = h[m]
+		h[i].idx = i
+		i = m
+	}
+	h[i] = t
+	t.idx = i
+	return i != start
+}
+
+func (h *eventHeap) pop() *Timer {
+	es := *h
+	n := len(es)
+	if n == 0 {
+		return nil
+	}
+	t := es[0]
+	last := es[n-1]
+	es[n-1] = nil
+	es = es[:n-1]
+	*h = es
+	if n > 1 {
+		es[0] = last
+		last.idx = 0
+		es.siftDown(0)
+	}
+	t.idx = -1
+	return t
+}
+
+func (h *eventHeap) remove(t *Timer) {
+	es := *h
+	i := t.idx
+	n := len(es)
+	last := es[n-1]
+	es[n-1] = nil
+	es = es[:n-1]
+	*h = es
+	if i < n-1 {
+		es[i] = last
+		last.idx = i
+		if !es.siftDown(i) {
+			es.siftUp(i)
+		}
+	}
+	t.idx = -1
 }
 
 // Scheduler is a discrete-event scheduler. Events execute strictly in
@@ -100,18 +200,17 @@ func (s *Scheduler) schedule(t Time, fn func(), afn func(any), arg any, pooled b
 		s.free[n-1] = nil
 		s.free = s.free[:n-1]
 		s.PoolReuses++
-		*ev = Timer{at: t, seq: s.seq, fn: fn, afn: afn, arg: arg, pooled: true}
+		*ev = Timer{at: t, seq: s.seq, fn: fn, afn: afn, arg: arg, sch: s, pooled: true}
 	} else {
-		ev = &Timer{at: t, seq: s.seq, fn: fn, afn: afn, arg: arg, pooled: pooled}
+		ev = &Timer{at: t, seq: s.seq, fn: fn, afn: afn, arg: arg, sch: s, pooled: pooled}
 	}
-	heap.Push(&s.events, ev)
+	s.events.push(ev)
 	return ev
 }
 
 // release returns a pooled timer to the free list once the scheduler is
-// done with it (fired or discarded while cancelled). Caller-owned timers
-// are left for the garbage collector because the caller may still hold the
-// handle.
+// done with it (fired or cancelled). Caller-owned timers are left for the
+// garbage collector because the caller may still hold the handle.
 func (s *Scheduler) release(ev *Timer) {
 	if !ev.pooled {
 		return
@@ -134,6 +233,34 @@ func (s *Scheduler) After(d Time, fn func()) *Timer {
 		d = 0
 	}
 	return s.At(s.now+d, fn)
+}
+
+// Rearm schedules fn at absolute time t, recycling the caller-owned handle
+// tm: a still-pending tm is cancelled (removed from the queue) first, and
+// the same Timer struct is reused for the new event, so periodically
+// re-armed timers — pacing gaps, retransmission timeouts — cost zero
+// allocations in steady state. A nil tm allocates a fresh handle, so
+// callers can unconditionally write
+//
+//	s.timer = sch.Rearm(s.timer, at, fn)
+//
+// The returned pointer is the caller's new handle (tm itself when reused);
+// the old handle must not be retained separately.
+func (s *Scheduler) Rearm(tm *Timer, t Time, fn func()) *Timer {
+	if tm == nil {
+		return s.At(t, fn)
+	}
+	if tm.pooled {
+		panic("sim: Rearm on a pooled (no-handle) timer")
+	}
+	tm.Cancel()
+	if t < s.now {
+		panic("sim: scheduling event in the past")
+	}
+	s.seq++
+	*tm = Timer{at: t, seq: s.seq, fn: fn, sch: s}
+	s.events.push(tm)
+	return tm
 }
 
 // AtFunc schedules fn at absolute time t with no handle: the event cannot
@@ -161,8 +288,8 @@ func (s *Scheduler) AfterArg(d Time, fn func(arg any), arg any) {
 	s.schedule(s.now+d, nil, fn, arg, true)
 }
 
-// Pending returns the number of events currently queued (including
-// cancelled events not yet discarded).
+// Pending returns the number of events currently queued. Cancelled events
+// are removed at Cancel time, so they are never counted.
 func (s *Scheduler) Pending() int { return len(s.events) }
 
 // FreeTimers returns the current size of the timer free list (tests).
@@ -172,21 +299,20 @@ func (s *Scheduler) FreeTimers() int { return len(s.free) }
 func (s *Scheduler) Stop() { s.stopped = true }
 
 // step runs the earliest event. It returns false when no events remain.
+// Cancelled events never reach this point: Cancel removes them from the
+// queue (releasing pooled ones) immediately, so Run and RunUntil share
+// this single drain-free pop path.
 func (s *Scheduler) step() bool {
-	for len(s.events) > 0 {
-		ev := heap.Pop(&s.events).(*Timer)
-		if ev.cancelled {
-			s.release(ev)
-			continue
-		}
-		s.now = ev.at
-		ev.fired = true
-		s.Executed++
-		ev.run()
-		s.release(ev)
-		return true
+	ev := s.events.pop()
+	if ev == nil {
+		return false
 	}
-	return false
+	s.now = ev.at
+	ev.fired = true
+	s.Executed++
+	ev.run()
+	s.release(ev)
+	return true
 }
 
 // Run executes events until none remain or Stop is called.
@@ -201,10 +327,6 @@ func (s *Scheduler) Run() {
 func (s *Scheduler) RunUntil(end Time) {
 	s.stopped = false
 	for !s.stopped {
-		// Peek at the earliest non-cancelled event.
-		for len(s.events) > 0 && s.events[0].cancelled {
-			s.release(heap.Pop(&s.events).(*Timer))
-		}
 		if len(s.events) == 0 || s.events[0].at > end {
 			break
 		}

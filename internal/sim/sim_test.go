@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -201,6 +202,207 @@ func TestSchedulerPooledSteadyStateAllocs(t *testing.T) {
 	})
 	if allocs > 0.1 {
 		t.Fatalf("pooled scheduling allocates %.2f/op, want 0", allocs)
+	}
+}
+
+func TestSchedulerCancelRemovesImmediately(t *testing.T) {
+	// Cancel removes the event from the queue on the spot — there is no
+	// lazy cancelled-event drain left in either Run or RunUntil, so
+	// Pending drops at Cancel time on both paths.
+	t.Run("Run", func(t *testing.T) {
+		s := NewScheduler()
+		fired := false
+		tm := s.At(2*Millisecond, func() { fired = true })
+		s.At(3*Millisecond, func() {})
+		if s.Pending() != 2 {
+			t.Fatalf("Pending = %d, want 2", s.Pending())
+		}
+		tm.Cancel()
+		if s.Pending() != 1 {
+			t.Fatalf("Pending after Cancel = %d, want 1 (eager removal)", s.Pending())
+		}
+		s.Run()
+		if fired {
+			t.Fatal("cancelled event fired via Run")
+		}
+	})
+	t.Run("RunUntil", func(t *testing.T) {
+		s := NewScheduler()
+		fired := false
+		tm := s.At(2*Millisecond, func() { fired = true })
+		s.At(3*Millisecond, func() {})
+		tm.Cancel()
+		if s.Pending() != 1 {
+			t.Fatalf("Pending after Cancel = %d, want 1 (eager removal)", s.Pending())
+		}
+		s.RunUntil(10 * Millisecond)
+		if fired {
+			t.Fatal("cancelled event fired via RunUntil")
+		}
+		if s.Executed != 1 {
+			t.Fatalf("Executed = %d, want 1", s.Executed)
+		}
+	})
+	// Cancelling mid-queue (not the earliest, not the last) must keep the
+	// heap ordered on both paths.
+	t.Run("MidQueueOrder", func(t *testing.T) {
+		s := NewScheduler()
+		var order []int
+		var tms []*Timer
+		for i := 1; i <= 9; i++ {
+			i := i
+			tms = append(tms, s.At(Time(i)*Millisecond, func() { order = append(order, i) }))
+		}
+		tms[4].Cancel()
+		tms[1].Cancel()
+		s.RunUntil(6 * Millisecond)
+		s.Run()
+		want := []int{1, 3, 4, 6, 7, 8, 9}
+		if len(order) != len(want) {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+		for i := range want {
+			if order[i] != want[i] {
+				t.Fatalf("order = %v, want %v", order, want)
+			}
+		}
+	})
+}
+
+func TestSchedulerRearm(t *testing.T) {
+	s := NewScheduler()
+	// A nil handle allocates; subsequent rearms recycle the same struct.
+	var tm *Timer
+	count := 0
+	tm = s.Rearm(tm, Millisecond, func() { count++ })
+	first := tm
+	tm = s.Rearm(tm, 2*Millisecond, func() { count += 10 }) // displaces the pending event
+	if tm != first {
+		t.Fatal("Rearm did not reuse the caller-owned Timer struct")
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1 (old event removed)", s.Pending())
+	}
+	s.Run()
+	if count != 10 {
+		t.Fatalf("count = %d, want 10 (only the rearmed event runs)", count)
+	}
+	if s.Now() != 2*Millisecond {
+		t.Fatalf("clock = %v, want 2ms", s.Now())
+	}
+	// Rearming a fired handle reuses it too.
+	tm2 := s.Rearm(tm, 5*Millisecond, func() { count++ })
+	if tm2 != first {
+		t.Fatal("Rearm of a fired handle did not reuse the struct")
+	}
+	s.Run()
+	if count != 11 {
+		t.Fatalf("count = %d, want 11", count)
+	}
+}
+
+func TestSchedulerRearmSteadyStateAllocs(t *testing.T) {
+	s := NewScheduler()
+	fn := func() {}
+	tm := s.Rearm(nil, Microsecond, fn)
+	allocs := testing.AllocsPerRun(1000, func() {
+		tm = s.Rearm(tm, s.Now()+Microsecond, fn)
+		s.Run()
+	})
+	if allocs > 0 {
+		t.Fatalf("Rearm allocates %.2f/op in steady state, want 0", allocs)
+	}
+}
+
+// TestSchedulerHeapMatchesReference drives the 4-ary heap through a
+// randomized schedule/cancel workload and checks the execution order
+// against the (at, seq) total order computed independently.
+func TestSchedulerHeapMatchesReference(t *testing.T) {
+	rng := NewRand(99)
+	s := NewScheduler()
+	type ev struct {
+		at  Time
+		id  int
+		tm  *Timer
+		cut bool
+	}
+	var evs []*ev
+	var got []int
+	for i := 0; i < 500; i++ {
+		at := Time(rng.Intn(50)) * Millisecond // many ties to exercise seq order
+		e := &ev{at: at, id: i}
+		e.tm = s.At(at, func() { got = append(got, e.id) })
+		evs = append(evs, e)
+	}
+	// Cancel a third of them, including repeats and already-cancelled.
+	for i := 0; i < 200; i++ {
+		e := evs[rng.Intn(len(evs))]
+		e.tm.Cancel()
+		e.cut = true
+	}
+	s.Run()
+	var want []int
+	for _, e := range evs { // evs is already in (at, seq)-stable order per at via stable scan
+		if !e.cut {
+			want = append(want, e.id)
+		}
+	}
+	// Reference order: sort by (at, id) — id order equals seq order here.
+	sort.SliceStable(want, func(i, j int) bool { return evs[want[i]].at < evs[want[j]].at })
+	if len(got) != len(want) {
+		t.Fatalf("executed %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order diverges at %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// BenchmarkSchedulerChurn measures the event queue under the simulator's
+// real mix: pooled fire-and-forget events plus a rearmed cancellable
+// timer, all allocation-free in steady state.
+func BenchmarkSchedulerChurn(b *testing.B) {
+	s := NewScheduler()
+	noop := func() {}
+	anoop := func(any) {}
+	var tm *Timer
+	// Warm the pool and the rearmable handle.
+	for i := 0; i < 64; i++ {
+		s.AfterFunc(Time(i)*Microsecond, noop)
+	}
+	tm = s.Rearm(tm, 100*Microsecond, noop)
+	s.Run()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.AfterFunc(Microsecond, noop)
+		s.AfterArg(2*Microsecond, anoop, nil)
+		s.AfterFunc(3*Microsecond, noop)
+		tm = s.Rearm(tm, s.Now()+2*Microsecond, noop) // rearmed before firing...
+		tm = s.Rearm(tm, s.Now()+4*Microsecond, noop) // ...and again (removal path)
+		s.Run()
+	}
+}
+
+func TestSchedulerChurnAllocFree(t *testing.T) {
+	s := NewScheduler()
+	noop := func() {}
+	anoop := func(any) {}
+	var tm *Timer
+	for i := 0; i < 64; i++ {
+		s.AfterFunc(Time(i)*Microsecond, noop)
+	}
+	tm = s.Rearm(tm, 100*Microsecond, noop)
+	s.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.AfterFunc(Microsecond, noop)
+		s.AfterArg(2*Microsecond, anoop, nil)
+		tm = s.Rearm(tm, s.Now()+2*Microsecond, noop)
+		tm = s.Rearm(tm, s.Now()+4*Microsecond, noop)
+		s.Run()
+	})
+	if allocs > 0 {
+		t.Fatalf("scheduler churn allocates %.2f/op in steady state, want 0", allocs)
 	}
 }
 

@@ -74,6 +74,36 @@ func percentileSorted(sorted []float64, p float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
+// Percentiles returns the p-quantiles (each p in [0,1]) of xs, sorting a
+// single copy once — the multi-quantile companion to Percentile, which
+// copies and sorts per call. Empty input yields NaN for every quantile.
+// The input slice is not modified.
+func Percentiles(xs []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	if len(xs) == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	for i, p := range ps {
+		out[i] = percentileSorted(cp, p)
+	}
+	return out
+}
+
+// PercentilesSorted is Percentiles for input that is already sorted
+// ascending; it neither copies nor sorts.
+func PercentilesSorted(sorted []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = percentileSorted(sorted, p)
+	}
+	return out
+}
+
 // Mean returns the arithmetic mean of xs (NaN for empty input).
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {

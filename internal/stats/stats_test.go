@@ -101,6 +101,36 @@ func TestPercentileMonotonic(t *testing.T) {
 	}
 }
 
+func TestPercentiles(t *testing.T) {
+	xs := []float64{50, 10, 40, 20, 30}
+	got := Percentiles(xs, 0, 0.25, 0.5, 0.75, 1)
+	want := []float64{10, 20, 30, 40, 50}
+	for i := range want {
+		if !almost(got[i], want[i], 1e-9) {
+			t.Fatalf("Percentiles[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// One sort, same answers as repeated Percentile calls.
+	for i, p := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if got[i] != Percentile(xs, p) {
+			t.Fatalf("Percentiles(%v) = %v disagrees with Percentile %v", p, got[i], Percentile(xs, p))
+		}
+	}
+	if xs[0] != 50 {
+		t.Fatal("input mutated")
+	}
+	for _, v := range Percentiles(nil, 0.5, 0.9) {
+		if !math.IsNaN(v) {
+			t.Fatal("empty input should yield NaNs")
+		}
+	}
+	sorted := []float64{1, 2, 3, 4}
+	ps := PercentilesSorted(sorted, 0.5)
+	if ps[0] != Percentile(sorted, 0.5) {
+		t.Fatalf("PercentilesSorted = %v", ps[0])
+	}
+}
+
 func TestSummarize(t *testing.T) {
 	xs := make([]float64, 101)
 	for i := range xs {
@@ -305,6 +335,32 @@ func TestRing(t *testing.T) {
 	}
 	if r.At(0) != 5 || r.At(3) != 2 {
 		t.Fatalf("At: newest=%v oldest=%v", r.At(0), r.At(3))
+	}
+}
+
+// Property: the running windowed sum tracks a direct summation of the
+// window across fills, wraps, and long churn.
+func TestRingSum(t *testing.T) {
+	r := NewRing(5)
+	if r.Sum() != 0 {
+		t.Fatal("empty ring sum not 0")
+	}
+	direct := func() float64 {
+		s := 0.0
+		for _, v := range r.Snapshot(nil) {
+			s += v
+		}
+		return s
+	}
+	for i := 1; i <= 137; i++ {
+		r.Push(float64(i%17) - 8)
+		d := direct()
+		if math.Abs(r.Sum()-d) > 1e-9 {
+			t.Fatalf("after %d pushes: Sum = %v, direct = %v", i, r.Sum(), d)
+		}
+	}
+	if math.Abs(r.Sum()/float64(r.Len())-Mean(r.Snapshot(nil))) > 1e-12 {
+		t.Fatal("Sum/Len disagrees with Mean of snapshot")
 	}
 }
 

@@ -94,12 +94,14 @@ func (w *WindowedMin) Min() float64 {
 func (w *WindowedMin) Empty() bool { return len(w.vals) == 0 }
 
 // Ring is a fixed-capacity ring buffer of float64 samples with O(1)
-// append; it retains the most recent Cap samples. Used for the detector's
+// append; it retains the most recent Cap samples and maintains a running
+// windowed sum so the window mean is O(1). Used for the detector's
 // z-history and Nimbus's rate history.
 type Ring struct {
 	buf  []float64
 	next int
 	full bool
+	sum  float64
 }
 
 // NewRing returns a ring holding up to n samples.
@@ -107,6 +109,10 @@ func NewRing(n int) *Ring { return &Ring{buf: make([]float64, n)} }
 
 // Push appends a sample, evicting the oldest when full.
 func (r *Ring) Push(v float64) {
+	if r.full {
+		r.sum -= r.buf[r.next]
+	}
+	r.sum += v
 	r.buf[r.next] = v
 	r.next++
 	if r.next == len(r.buf) {
@@ -114,6 +120,13 @@ func (r *Ring) Push(v float64) {
 		r.full = true
 	}
 }
+
+// Sum returns the running sum of the samples currently in the window.
+// It is maintained incrementally (add on push, subtract on evict), so
+// it can drift from a fresh summation by floating-point rounding after
+// very long runs; callers comparing against sharp thresholds should
+// treat it as approximate at the last few ulps.
+func (r *Ring) Sum() float64 { return r.sum }
 
 // Len returns the number of samples currently held.
 func (r *Ring) Len() int {

@@ -63,11 +63,16 @@ type Sender struct {
 	stopped bool
 
 	// Reusable callbacks and free lists for the per-packet hot path.
+	// Packets are recycled at delivery (the receiver is the last holder:
+	// netem never retains a packet past Deliver, and the ACK state rides
+	// on a pooled ackRec), so emit is allocation-free in steady state;
+	// dropped packets are simply left to the garbage collector.
 	trySendFn func()
 	onRTOFn   func()
 	onAckFn   func(arg any)
 	ackFree   []*ackRec
 	recFree   []*pktRec
+	pktFree   []*netem.Packet
 
 	// Counters and hooks.
 	SentBytes      uint64
@@ -188,7 +193,14 @@ func (s *Sender) trySend() {
 
 func (s *Sender) emit(size int) {
 	now := s.env.Sch.Now()
-	p := &netem.Packet{Seq: s.nextSeq, Size: size}
+	var p *netem.Packet
+	if n := len(s.pktFree); n > 0 {
+		p = s.pktFree[n-1]
+		s.pktFree = s.pktFree[:n-1]
+		*p = netem.Packet{Seq: s.nextSeq, Size: size}
+	} else {
+		p = &netem.Packet{Seq: s.nextSeq, Size: size}
+	}
 	s.nextSeq++
 	var r *pktRec
 	if n := len(s.recFree); n > 0 {
@@ -212,8 +224,9 @@ func (s *Sender) armPace(at sim.Time) {
 	if s.paceTimer != nil && !s.paceTimer.Fired() && s.paceTimer.When() <= at {
 		return
 	}
-	s.paceTimer.Cancel()
-	s.paceTimer = s.env.Sch.At(at, s.trySendFn)
+	// Rearm recycles the handle's Timer struct, so per-packet pacing costs
+	// no allocation once the flow is warm.
+	s.paceTimer = s.env.Sch.Rearm(s.paceTimer, at, s.trySendFn)
 }
 
 // KickPacing clears any pending pacing gap so a rate increase takes
@@ -227,12 +240,13 @@ func (s *Sender) KickPacing() {
 }
 
 func (s *Sender) armRTO() {
-	s.rtoTimer.Cancel()
 	d := s.rto << uint(s.rtoBackoff)
 	if d > maxRTO {
 		d = maxRTO
 	}
-	s.rtoTimer = s.env.Sch.After(d, s.onRTOFn)
+	// Re-armed on every ACK; Rearm cancels the pending timeout and reuses
+	// its Timer struct in place of a fresh allocation.
+	s.rtoTimer = s.env.Sch.Rearm(s.rtoTimer, s.env.Sch.Now()+d, s.onRTOFn)
 }
 
 func (s *Sender) onRTO() {
@@ -279,6 +293,9 @@ func (s *Sender) onDeliver(p *netem.Packet, now sim.Time) {
 	}
 	*rec = ackRec{seq: p.Seq, size: p.Size, sentAt: p.SentAt, qd: p.QueueDelay, delivered: s.DeliveredBytes}
 	s.att.SendAckArg(s.onAckFn, rec)
+	// The packet is dead past this point: the link handed it over, the ACK
+	// state was copied onto rec, and the hooks above do not retain it.
+	s.pktFree = append(s.pktFree, p)
 }
 
 // onAckEvent runs at the sender when an ACK arrives on the reverse path.
