@@ -6,6 +6,7 @@ import (
 
 	"nimbus/internal/exp"
 	"nimbus/internal/fft"
+	"nimbus/internal/netem"
 	"nimbus/internal/sim"
 )
 
@@ -57,6 +58,7 @@ func BenchmarkFig26(b *testing.B)  { benchExperiment(b, "fig26") }
 func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
 func BenchmarkTableE(b *testing.B) { benchExperiment(b, "tableE") }
 func BenchmarkMobile(b *testing.B) { benchExperiment(b, "mobile") }
+func BenchmarkTopo(b *testing.B)   { benchExperiment(b, "topo") }
 
 // Micro-benchmarks of the hot paths.
 
@@ -110,6 +112,37 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		r.AddFlow(s, 50*sim.Millisecond, 0)
 		r.Sch.RunUntil(10 * sim.Second)
 		b.ReportMetric(float64(r.Link.DeliveredPackets)/float64(b.N), "pkts/op")
+	}
+}
+
+// BenchmarkTopologyThroughput measures multi-hop forwarding in steady
+// state: one packet pushed end-to-end across the access-hop topology
+// (two links, an inter-hop wire, receiver delivery, pool recycling) per
+// op, with the rig built once and all pools warmed before the timer
+// starts. The CI bench smoke gates allocs/op at zero: hop forwarding
+// must stay on pooled timers and the shared packet pool.
+func BenchmarkTopologyThroughput(b *testing.B) {
+	r := exp.NewRig(exp.NetConfig{
+		RateMbps: 96, RTT: 10 * sim.Millisecond, Buffer: 100 * sim.Millisecond,
+		Seed: 1, Topology: "access-hop",
+	})
+	att := r.Net.AttachOn("", 10*sim.Millisecond)
+	att.Receive = func(p *netem.Packet, now sim.Time) { r.Net.PutPacket(p) }
+	seq := uint64(0)
+	send := func() {
+		p := r.Net.GetPacket()
+		*p = netem.Packet{Seq: seq, Size: 1500}
+		seq++
+		att.Send(p)
+		r.Sch.Run()
+	}
+	for i := 0; i < 256; i++ {
+		send() // warm the packet pool, timer pool, and queue rings
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		send()
 	}
 }
 

@@ -8,18 +8,24 @@
 // Instead of stdin, -link-trace resamples a capacity trace (an embedded
 // netem trace name or a time_ms,mbps file) at -interval and analyzes
 // that — a quick check of whether a path's rate variation itself looks
-// elastic to the detector.
+// elastic to the detector. -topology does the same for a topology spec's
+// bottleneck link: "elasticity -topology 'bn(48mbps,pattern=step:6:24:2000)'"
+// analyzes the bottleneck hop's scheduled capacity signal (the spec's
+// bottleneck needs an absolute rate, since there is no scenario to
+// inherit one from).
 //
 // The uniform listing flags every CLI in this repo shares are available
 // here too: -list-traces (embedded capacity traces for -link-trace),
-// -list-schemes (the scheme registry), -list-experiments (paper
-// experiment ids, runnable with nimbus-bench -run).
+// -list-topologies (topology presets for -topology), -list-schemes (the
+// scheme registry), -list-experiments (paper experiment ids, runnable
+// with nimbus-bench -run).
 //
 // Usage:
 //
 //	elasticity -fp 5 -interval 10ms < zseries.csv
 //	elasticity -fp 5,2,1 -workers 4 < zseries.csv
 //	elasticity -fp 5 -link-trace cell-ramp -trace-dur 60s
+//	elasticity -fp 5 -topology 'access(100mbps,5ms)->bn(48mbps,pattern=ramp:12:48:8000)'
 //	elasticity -list-traces
 package main
 
@@ -47,14 +53,16 @@ func main() {
 		thresh   = flag.Float64("threshold", 2, "elasticity threshold")
 		workers  = flag.Int("workers", 0, "parallel analyses (0 = all cores)")
 		trace    = flag.String("link-trace", "", "analyze a capacity trace (embedded name or time_ms,mbps file) instead of stdin")
-		traceDur = flag.Duration("trace-dur", 60*time.Second, "how much of the (possibly looping) trace to resample with -link-trace")
+		topo     = flag.String("topology", "", "analyze a topology spec's bottleneck-link capacity signal instead of stdin (the bottleneck needs an absolute rate)")
+		traceDur = flag.Duration("trace-dur", 60*time.Second, "how much of the (possibly looping) trace to resample with -link-trace/-topology")
 
 		listSchemes     = flag.Bool("list-schemes", false, "list registered schemes with their typed params and exit")
 		listTraces      = flag.Bool("list-traces", false, "list embedded link capacity traces and exit")
+		listTopologies  = flag.Bool("list-topologies", false, "list registered topology presets and exit")
 		listExperiments = flag.Bool("list-experiments", false, "list paper experiment ids (run them with nimbus-bench -run) and exit")
 	)
 	flag.Parse()
-	if exp.HandleListFlags(*listSchemes, *listTraces, *listExperiments) {
+	if exp.HandleListFlags(*listSchemes, *listTraces, *listTopologies, *listExperiments) {
 		return
 	}
 
@@ -67,9 +75,15 @@ func main() {
 
 	var samples []float64
 	var err error
-	if *trace != "" {
+	switch {
+	case *trace != "" && *topo != "":
+		fmt.Fprintln(os.Stderr, "pick one of -link-trace and -topology")
+		os.Exit(2)
+	case *trace != "":
 		samples, err = traceSamples(*trace, cfg.SampleInterval, sim.FromDuration(*traceDur))
-	} else {
+	case *topo != "":
+		samples, err = topoSamples(*topo, cfg.SampleInterval, sim.FromDuration(*traceDur))
+	default:
 		samples, err = readSamples(os.Stdin)
 	}
 	if err != nil {
@@ -127,6 +141,37 @@ func traceSamples(nameOrPath string, interval, dur sim.Time) ([]float64, error) 
 	var out []float64
 	for t := sim.Time(0); t < dur; t += interval {
 		out = append(out, s.RateAt(t))
+	}
+	return out, nil
+}
+
+// topoSamples resamples a topology spec's bottleneck-link capacity
+// schedule (its pattern anchored at its absolute rate, or the constant
+// rate) at the detector's interval.
+func topoSamples(topoSpec string, interval, dur sim.Time) ([]float64, error) {
+	ts, err := netem.ParseTopology(topoSpec)
+	if err != nil {
+		return nil, err
+	}
+	// There is no scenario here, so resolve the bottleneck at a zero
+	// nominal rate: all-absolute chains order correctly (the slowest
+	// link wins), and any scale- or inherit-rate link resolves to 0,
+	// gets picked, and lands in the no-absolute-rate error below.
+	bn := ts.LinkByName(ts.BottleneckAt(0))
+	if bn.RateMbps <= 0 {
+		return nil, fmt.Errorf("topology %q: bottleneck link %q has no absolute rate to analyze; give one, e.g. %s(48mbps)",
+			topoSpec, bn.Name, bn.Name)
+	}
+	sched := netem.ConstantRate(bn.RateMbps * 1e6)
+	if bn.Pattern != "" {
+		sched, err = netem.ParsePattern(bn.Pattern, bn.RateMbps*1e6)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var out []float64
+	for t := sim.Time(0); t < dur; t += interval {
+		out = append(out, sched.RateAt(t))
 	}
 	return out, nil
 }

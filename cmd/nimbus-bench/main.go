@@ -13,11 +13,13 @@
 //	nimbus-bench -list-experiments
 //	nimbus-bench -list-schemes
 //	nimbus-bench -list-traces
+//	nimbus-bench -list-topologies
 //	nimbus-bench -run fig08 [-seed 1] [-full] [-workers 8]
 //	nimbus-bench -run mobile          # schemes x time-varying link traces
 //	nimbus-bench -run coexist         # heterogeneous flow mixes x traces
+//	nimbus-bench -run topo            # parking-lot fairness, congested ACK paths
 //	nimbus-bench -run all -full
-//	nimbus-bench -benchmark [-bench-out BENCH_runner.json]
+//	nimbus-bench -benchmark [-bench-out BENCH_runner.json] [-topology access-hop]
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 	"time"
 
 	"nimbus/internal/exp"
+	"nimbus/internal/netem"
 	"nimbus/internal/runner"
 	"nimbus/internal/scheme"
 )
@@ -46,7 +49,9 @@ func realMain() int {
 		listExperiments = flag.Bool("list-experiments", false, "list experiment ids and exit")
 		listSchemes     = flag.Bool("list-schemes", false, "list registered schemes with their typed params and exit")
 		listTraces      = flag.Bool("list-traces", false, "list embedded link capacity traces and exit")
+		listTopologies  = flag.Bool("list-topologies", false, "list registered topology presets and exit")
 		run             = flag.String("run", "", "experiment id to run (or \"all\")")
+		topo            = flag.String("topology", "", "topology(ies) for the -benchmark sweep: preset names or chain specs, comma-separated (default: the single bottleneck)")
 		seed            = flag.Int64("seed", 1, "simulation seed")
 		full            = flag.Bool("full", false, "run at the paper's full horizons (slower)")
 		workers         = flag.Int("workers", 0, "worker pool size for experiment grids (0 = all cores, 1 = sequential)")
@@ -86,9 +91,9 @@ func realMain() int {
 	}
 
 	switch {
-	case exp.HandleListFlags(*listSchemes, *listTraces, *list || *listExperiments):
+	case exp.HandleListFlags(*listSchemes, *listTraces, *listTopologies, *list || *listExperiments):
 	case *bench:
-		return runBenchmark(*seed, *workers, *benchOut)
+		return runBenchmark(*seed, *workers, *benchOut, *topo)
 	case *run == "":
 		flag.Usage()
 		return 2
@@ -113,14 +118,16 @@ func realMain() int {
 // benchGrid is the canonical perf-tracking sweep: every scheme family the
 // repo implements against the cross-traffic kinds that stress different
 // parts of the stack, at two link rates. It exists so BENCH_runner.json
-// is comparable across commits.
-func benchGrid(seed int64) runner.Grid {
+// is comparable across commits. -topology adds a topology axis (the
+// default keeps the historical single-bottleneck grid).
+func benchGrid(seed int64, topos []string) runner.Grid {
 	return runner.Grid{
 		Base: runner.Scenario{
 			RTTms: 50, BufferMs: 100, DurationSec: 30, Seed: seed,
 		},
-		RatesMbps: []float64{96, 192},
-		Schemes:   scheme.Specs("nimbus", "cubic", "bbr", "copa"),
+		RatesMbps:  []float64{96, 192},
+		Schemes:    scheme.Specs("nimbus", "cubic", "bbr", "copa"),
+		Topologies: topos,
 		Crosses: []runner.Cross{
 			{Kind: "none"},
 			{Kind: "poisson", RateMbps: 48},
@@ -129,8 +136,17 @@ func benchGrid(seed int64) runner.Grid {
 	}
 }
 
-func runBenchmark(seed int64, workers int, out string) int {
-	scs := benchGrid(seed).Expand()
+func runBenchmark(seed int64, workers int, out, topo string) int {
+	var topos []string
+	for _, it := range scheme.SplitList(topo) {
+		c, err := netem.CanonicalTopology(it)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "-topology:", err)
+			return 2
+		}
+		topos = append(topos, c)
+	}
+	scs := benchGrid(seed, topos).Expand()
 	fmt.Fprintf(os.Stderr, "benchmark: %d scenarios on %d workers\n", len(scs), effectiveWorkers(workers))
 	start := time.Now()
 	rn := &runner.Runner{Workers: workers, OnProgress: runner.Progress(os.Stderr)}

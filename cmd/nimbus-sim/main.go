@@ -9,10 +9,14 @@
 // reports per-flow throughput plus Jain/JSD fairness. The bottleneck may
 // be time-varying: -link-trace names an embedded capacity trace (or a
 // time_ms,mbps file) and -rate-pattern applies a step/ramp/outage
-// pattern to the nominal rate. Any of -scheme, -flows, -rate, -rtt,
-// -buf, -aqm, -cross, -link-trace, -rate-pattern and -seed also accept
-// comma-separated lists (commas inside a spec's parentheses don't
-// split); the cartesian product then runs as a parallel sweep on
+// pattern to the nominal rate. The path may be multi-hop: -topology
+// selects a registered preset (single, access-hop, parking-lot,
+// rev-congested; see -list-topologies) or a chain spec like
+// "access(x4,5ms)->bn", and multi-hop runs report per-hop
+// utilization/drops/queueing. Any of -scheme, -flows, -rate, -rtt,
+// -buf, -aqm, -cross, -link-trace, -rate-pattern, -topology and -seed
+// also accept comma-separated lists (commas inside a spec's parentheses
+// don't split); the cartesian product then runs as a parallel sweep on
 // -workers cores and prints one summary row per scenario (optionally
 // written to -out as JSON or CSV).
 //
@@ -23,6 +27,7 @@
 //	    -cross poisson -workers 8 -out sweep.csv
 //	nimbus-sim -flows "nimbus+cubic,nimbus*2+bbr@10" -link-trace cell-ramp,wifi-cafe
 //	nimbus-sim -scheme nimbus -rate-pattern step:12:48:4000,outage:20000:5000 -dur 60s
+//	nimbus-sim -scheme nimbus,cubic -topology access-hop,parking-lot -out topo.json
 //	nimbus-sim -list-schemes
 package main
 
@@ -36,6 +41,7 @@ import (
 	"time"
 
 	"nimbus/internal/exp"
+	"nimbus/internal/netem"
 	"nimbus/internal/runner"
 	spec "nimbus/internal/scheme"
 	"nimbus/internal/sim"
@@ -51,6 +57,7 @@ func main() {
 		aqm     = flag.String("aqm", "droptail", "queue discipline(s): droptail, pie, codel; comma-separated")
 		trace   = flag.String("link-trace", "", "time-varying link capacity trace(s): embedded names (see -list-traces) or time_ms,mbps files; comma-separated")
 		pattern = flag.String("rate-pattern", "", "time-varying link pattern(s): step:LO:HI:PERIODms, ramp:MIN:MAX:PERIODms, outage:ATms:DURms, constant; comma-separated")
+		topo    = flag.String("topology", "", "path topology(ies): preset names (see -list-topologies) or chain specs like access(x4,5ms)->bn; comma-separated")
 		cross   = flag.String("cross", "none", "cross traffic: none, cubic, reno, poisson, cbr, trace, video4k, video1080p")
 		crossMb = flag.Float64("cross-rate", 48, "cross traffic rate for poisson/cbr/trace, Mbit/s")
 		dur     = flag.Duration("dur", 60*time.Second, "simulated duration")
@@ -61,10 +68,11 @@ func main() {
 
 		listSchemes     = flag.Bool("list-schemes", false, "list registered schemes with their typed params and exit")
 		listTraces      = flag.Bool("list-traces", false, "list embedded link capacity traces and exit")
+		listTopologies  = flag.Bool("list-topologies", false, "list registered topology presets and exit")
 		listExperiments = flag.Bool("list-experiments", false, "list paper experiment ids (run them with nimbus-bench -run) and exit")
 	)
 	flag.Parse()
-	if exp.HandleListFlags(*listSchemes, *listTraces, *listExperiments) {
+	if exp.HandleListFlags(*listSchemes, *listTraces, *listTopologies, *listExperiments) {
 		return
 	}
 
@@ -76,6 +84,7 @@ func main() {
 		RatesMbps:    parseFloats(*rate, "-rate"),
 		LinkTraces:   splitStrings(*trace),
 		RatePatterns: splitStrings(*pattern),
+		Topologies:   topoList(*topo),
 		RTTsMs:       parseDurationsMs(*rtt, "-rtt"),
 		BuffersMs:    parseDurationsMs(*buf, "-buf"),
 		AQMs:         splitStrings(*aqm),
@@ -140,6 +149,22 @@ func flowMixes(s string) []string {
 		mixes[i] = exp.FormatFlowMix(fss)
 	}
 	return mixes
+}
+
+// topoList splits and canonicalizes the -topology value (commas inside a
+// chain spec's parentheses don't split). Canonicalization maps the single
+// topology to "", so "-topology single" lands on the same scenario key
+// (and seed, and results) as the default.
+func topoList(s string) []string {
+	items := spec.SplitList(s)
+	for i, it := range items {
+		c, err := netem.CanonicalTopology(it)
+		if err != nil {
+			fatalf("-topology: %v (see -list-topologies)", err)
+		}
+		items[i] = c
+	}
+	return items
 }
 
 // crossList expands a comma-separated -cross value; every kind shares the

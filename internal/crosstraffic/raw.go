@@ -30,28 +30,38 @@ type RawSource struct {
 	// Hot-path reuse: one prebound arrival callback rides on pooled
 	// scheduler events with the boxed generation as its argument (re-boxed
 	// only when the generation changes), and delivered packets come back
-	// through the attachment's receive hook for recycling — so steady-state
-	// injection allocates nothing.
+	// through the attachment's receive hook into the topology's shared
+	// packet pool — so steady-state injection allocates nothing.
 	arriveFn func(arg any)
 	genArg   any
-	pktFree  []*netem.Packet
 
 	SentPackets uint64
 }
 
-// NewCBR returns a constant bit-rate source at rateBps.
+// NewCBR returns a constant bit-rate source at rateBps on the default
+// route.
 func NewCBR(net *netem.Network, rtt sim.Time, rateBps float64) *RawSource {
-	return newRaw(net, rtt, rateBps, false, nil)
+	return NewCBROn(net, "", rtt, rateBps)
+}
+
+// NewCBROn is NewCBR on a named route of the topology.
+func NewCBROn(net *netem.Network, route string, rtt sim.Time, rateBps float64) *RawSource {
+	return newRaw(net, route, rtt, rateBps, false, nil)
 }
 
 // NewPoisson returns a source with Poisson packet arrivals at mean
-// rateBps.
+// rateBps on the default route.
 func NewPoisson(net *netem.Network, rtt sim.Time, rateBps float64, rng *sim.Rand) *RawSource {
-	return newRaw(net, rtt, rateBps, true, rng)
+	return NewPoissonOn(net, "", rtt, rateBps, rng)
 }
 
-func newRaw(net *netem.Network, rtt sim.Time, rateBps float64, poisson bool, rng *sim.Rand) *RawSource {
-	att := net.Attach(rtt)
+// NewPoissonOn is NewPoisson on a named route of the topology.
+func NewPoissonOn(net *netem.Network, route string, rtt sim.Time, rateBps float64, rng *sim.Rand) *RawSource {
+	return newRaw(net, route, rtt, rateBps, true, rng)
+}
+
+func newRaw(net *netem.Network, route string, rtt sim.Time, rateBps float64, poisson bool, rng *sim.Rand) *RawSource {
+	att := net.AttachOn(route, rtt)
 	r := &RawSource{
 		att:     att,
 		sch:     net.Sch,
@@ -63,9 +73,9 @@ func newRaw(net *netem.Network, rtt sim.Time, rateBps float64, poisson bool, rng
 	r.arriveFn = r.arrive
 	r.genArg = r.gen
 	// Raw packets generate no ACKs; the receive hook's only job is to
-	// return them to the free list once the delivery taps have seen them.
+	// return them to the shared pool once the delivery taps have seen them.
 	att.Receive = func(p *netem.Packet, now sim.Time) {
-		r.pktFree = append(r.pktFree, p)
+		att.PutPacket(p)
 	}
 	return r
 }
@@ -118,14 +128,8 @@ func (r *RawSource) arrive(arg any) {
 	}
 	r.seq++
 	r.SentPackets++
-	var p *netem.Packet
-	if n := len(r.pktFree); n > 0 {
-		p = r.pktFree[n-1]
-		r.pktFree = r.pktFree[:n-1]
-		*p = netem.Packet{Seq: r.seq, Size: r.size, Raw: true}
-	} else {
-		p = &netem.Packet{Seq: r.seq, Size: r.size, Raw: true}
-	}
+	p := r.att.GetPacket()
+	*p = netem.Packet{Seq: r.seq, Size: r.size, Raw: true}
 	r.att.Send(p)
 	r.scheduleNext()
 }

@@ -86,6 +86,7 @@ type TraceWorkload struct {
 	Rng     *sim.Rand
 	LoadBps float64     // offered load in bits/s
 	RTT     sim.Time    // cross-flow base RTT
+	Route   string      // topology route the flows take ("" = default)
 	Sizes   SizeSampler // defaults to HeavyTailedSizes
 	// NewCC builds the congestion controller per flow (default Cubic is
 	// supplied by the caller; required).
@@ -152,7 +153,7 @@ func (w *TraceWorkload) spawnFlow() {
 	src := transport.NewFiniteFlow(size, func(done sim.Time) {
 		w.finish(af, done)
 	})
-	sender = transport.NewSender(w.Net, w.RTT, w.NewCC(), src, w.Rng.Split("flow"))
+	sender = transport.NewSenderOn(w.Net, w.Route, w.RTT, w.NewCC(), src, w.Rng.Split("flow"))
 	af.sender = sender
 	w.active[sender.ID()] = af
 	if af.elastic {

@@ -20,6 +20,8 @@ type VideoClient struct {
 	Net *netem.Network
 	Rng *sim.Rand
 	RTT sim.Time
+	// Route is the topology route the connection takes ("" = default).
+	Route string
 	// Ladder is the available bitrates in bits/s, ascending.
 	Ladder []float64
 	// ChunkDuration is the media duration per chunk (default 4 s).
@@ -63,7 +65,7 @@ func (v *VideoClient) Start(at sim.Time) {
 	}
 	v.tputEst = stats.NewEWMA(0.3)
 	v.src = &transport.ChunkSource{OnChunkDone: v.onChunkDone}
-	v.sender = transport.NewSender(v.Net, v.RTT, v.NewCC(), v.src, v.Rng.Split("video"))
+	v.sender = transport.NewSenderOn(v.Net, v.Route, v.RTT, v.NewCC(), v.src, v.Rng.Split("video"))
 	v.Net.Sch.At(at, func() {
 		v.lastUpdate = v.Net.Sch.Now()
 		v.sender.Start(v.Net.Sch.Now())

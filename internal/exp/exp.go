@@ -18,7 +18,9 @@ import (
 	"nimbus/internal/transport"
 )
 
-// NetConfig describes the emulated bottleneck (the Mahimahi stand-in).
+// NetConfig describes the emulated network (the Mahimahi stand-in): the
+// nominal bottleneck parameters plus, optionally, a topology the path is
+// built from.
 type NetConfig struct {
 	RateMbps  float64
 	RTT       sim.Time // base RTT of the primary flow
@@ -31,9 +33,18 @@ type NetConfig struct {
 	// depth and the AQM drain-rate estimate are sized from it, the way a
 	// real deployment provisions for a nominal capacity.
 	Schedule *netem.RateSchedule
+	// Topology selects the path topology: empty (or "single") is the
+	// paper's Fig. 2 single bottleneck; otherwise a preset name
+	// ("access-hop", "parking-lot", "rev-congested") or a chain spec like
+	// "access(x4,5ms)->bn" (netem.ParseTopology). Links without explicit
+	// rates/buffers inherit RateMbps/Buffer; the bottleneck link inherits
+	// AQM and Schedule.
+	Topology string
 }
 
-// Rig is an instantiated bottleneck network for one experiment run.
+// Rig is an instantiated network for one experiment run. Link is the
+// bottleneck hop; Net is the full topology (the trivial one-hop topology
+// by default).
 type Rig struct {
 	Sch   *sim.Scheduler
 	Link  *netem.Link
@@ -43,43 +54,109 @@ type Rig struct {
 	Cfg   NetConfig
 }
 
-// NewRig builds the network.
+// NewRig builds the network from the config's topology spec (the single
+// bottleneck when none is given). Unknown AQMs and malformed topologies
+// panic; the sweep harness's runGuarded turns panics into error rows, and
+// RigForScenario validates scenario specs up front.
 func NewRig(cfg NetConfig) *Rig {
 	if cfg.Buffer == 0 {
 		cfg.Buffer = 100 * sim.Millisecond
 	}
+	ts, err := netem.ParseTopology(cfg.Topology)
+	if err != nil {
+		panic("exp: " + err.Error())
+	}
 	sch := sim.NewScheduler()
 	rng := sim.NewRand(cfg.Seed + 1)
-	rate := cfg.RateMbps * 1e6
-	bufBytes := netem.BufferBytesForDelay(rate, cfg.Buffer)
-	var q netem.Queue
-	switch cfg.AQM {
-	case "", "droptail":
-		q = netem.NewDropTail(bufBytes)
-	case "pie":
-		target := cfg.PIETarget
-		if target == 0 {
-			target = 20 * sim.Millisecond
+	nominal := cfg.RateMbps * 1e6
+	// The µ link depends on the nominal rate for chains mixing scaled and
+	// absolute rates ("access(x4)->bn(48mbps)" at -rate 24 bottlenecks at
+	// bn, not access).
+	bottleneck := ts.BottleneckAt(nominal)
+	// µ is the bottleneck's resolved capacity — the nominal rate for the
+	// single topology and every preset (their bottlenecks inherit it),
+	// but a chain may pin the bottleneck to an explicit absolute rate.
+	muBps := nominal
+	byName := make(map[string]*netem.Link, len(ts.Links))
+	net := netem.NewTopology(sch)
+	for _, ls := range ts.Links {
+		isBn := ls.Name == bottleneck
+		rate := ls.ResolveRate(nominal)
+		if isBn {
+			muBps = rate
 		}
-		q = netem.NewPIE(bufBytes, rate, target, rng.Split("pie"))
-	case "codel":
-		q = netem.NewCoDel(bufBytes)
-	default:
-		panic("exp: unknown AQM " + cfg.AQM)
+		aqm := ls.AQM
+		if aqm == "" && isBn {
+			aqm = cfg.AQM
+		}
+		buf := cfg.Buffer
+		if ls.BufferMs > 0 {
+			buf = sim.FromSeconds(ls.BufferMs / 1e3)
+		}
+		bufBytes := netem.BufferBytesForDelay(rate, buf)
+		var q netem.Queue
+		switch aqm {
+		case "", "droptail":
+			q = netem.NewDropTail(bufBytes)
+		case "pie":
+			target := cfg.PIETarget
+			if target == 0 {
+				target = 20 * sim.Millisecond
+			}
+			// The bottleneck's PIE stream keeps its historical label so
+			// single-topology results stay byte-identical.
+			label := "pie"
+			if !isBn {
+				label = "pie-" + ls.Name
+			}
+			q = netem.NewPIE(bufBytes, rate, target, rng.Split(label))
+		case "codel":
+			q = netem.NewCoDel(bufBytes)
+		default:
+			panic("exp: unknown AQM " + aqm)
+		}
+		var sched *netem.RateSchedule
+		switch {
+		case isBn && cfg.Schedule != nil:
+			sched = cfg.Schedule
+		case ls.Pattern != "":
+			sched, err = netem.ParsePattern(ls.Pattern, rate)
+			if err != nil {
+				panic("exp: " + err.Error())
+			}
+		default:
+			sched = netem.ConstantRate(rate)
+		}
+		link := netem.NewLinkSchedule(sch, sched, q)
+		link.Name = ls.Name
+		net.AddLink(link)
+		byName[ls.Name] = link
 	}
-	sched := cfg.Schedule
-	if sched == nil {
-		sched = netem.ConstantRate(rate)
+	for _, rs := range ts.Routes {
+		r := &netem.Route{Name: rs.Name}
+		for _, hop := range rs.Fwd {
+			r.Fwd = append(r.Fwd, netem.Hop{Link: byName[hop], Delay: hopDelay(ts, hop)})
+		}
+		for _, hop := range rs.Rev {
+			r.Rev = append(r.Rev, netem.Hop{Link: byName[hop], Delay: hopDelay(ts, hop)})
+		}
+		net.AddRoute(r)
 	}
-	link := netem.NewLinkSchedule(sch, sched, q)
+	net.Link = byName[bottleneck]
+	net.SetNodes(ts.Nodes())
 	return &Rig{
 		Sch:   sch,
-		Link:  link,
-		Net:   netem.NewNetwork(sch, link),
+		Link:  net.Link,
+		Net:   net,
 		Rng:   rng,
-		MuBps: rate,
+		MuBps: muBps,
 		Cfg:   cfg,
 	}
+}
+
+// hopDelay returns a link's wire delay from its spec.
+func hopDelay(ts netem.TopoSpec, name string) sim.Time {
+	return sim.FromSeconds(ts.LinkByName(name).DelayMs / 1e3)
 }
 
 // Scheme is a constructed congestion controller, with the Nimbus core
@@ -137,14 +214,20 @@ func MustScheme(s string, muBps float64) Scheme {
 
 // LinkOracle is the time-varying analogue of core.Oracle: it reports the
 // link's instantaneous capacity as µ, for experiments that control for µ
-// estimation error on schedules where no single rate is "the" truth.
+// estimation error on schedules where no single rate is "the" truth. In
+// multi-hop rigs the oracle reads the bottleneck hop's link (Rig.Link).
 type LinkOracle struct{ Link *netem.Link }
 
 // Observe is a no-op; the oracle reads the link directly.
 func (LinkOracle) Observe(sim.Time, float64) {}
 
-// Mu returns the link's current drain rate.
-func (o LinkOracle) Mu() float64 { return o.Link.Rate() }
+// Mu returns the scheduled instantaneous capacity. It evaluates the
+// schedule at the current time rather than returning the link's internal
+// drain rate: the drain rate is updated by scheduler events, so a reader
+// running at the same timestamp as a transition would see the old rate or
+// the new one depending on event seeding order, while the schedule gives
+// one well-defined answer.
+func (o LinkOracle) Mu() float64 { return o.Link.Schedule.RateAt(o.Link.Sch.Now()) }
 
 // SchemeNames lists the schemes most experiments compare.
 var SchemeNames = []string{"nimbus", "cubic", "bbr", "vegas", "copa", "vivace"}
@@ -163,9 +246,16 @@ func (r *Rig) AddFlow(s Scheme, rtt sim.Time, start sim.Time) *FlowProbe {
 	return r.AddFlowSrc(s, rtt, start, transport.Backlogged{})
 }
 
-// AddFlowSrc attaches a flow with an explicit application source.
+// AddFlowSrc attaches a flow with an explicit application source on the
+// default route.
 func (r *Rig) AddFlowSrc(s Scheme, rtt sim.Time, start sim.Time, src transport.Source) *FlowProbe {
-	sender := transport.NewSender(r.Net, rtt, s.Ctrl, src, r.Rng.Split("flow-"+s.Name))
+	return r.AddFlowOn("", s, rtt, start, src)
+}
+
+// AddFlowOn attaches a flow on a named route of the rig's topology (""
+// is the default end-to-end route).
+func (r *Rig) AddFlowOn(route string, s Scheme, rtt sim.Time, start sim.Time, src transport.Source) *FlowProbe {
+	sender := transport.NewSenderOn(r.Net, route, rtt, s.Ctrl, src, r.Rng.Split("flow-"+s.Name))
 	probe := &FlowProbe{
 		Tput:   metrics.NewMeter(sim.Second),
 		Delay:  metrics.NewDelayRecorder(0, r.Rng.Split("dlyrec")),
@@ -204,6 +294,10 @@ type FlowSpec struct {
 	StartAt, StopAt sim.Time
 	// Source is the application source (nil means backlogged).
 	Source transport.Source
+	// Route is the topology route the flows take ("" = the default
+	// end-to-end route). Parking-lot style experiments use it to pin
+	// flows to individual hops.
+	Route string
 }
 
 // Flow is one instantiated flow of a FlowSpec: its constructed scheme,
@@ -248,6 +342,10 @@ func (r *Rig) AddFlowSpecs(specs ...FlowSpec) ([]*Flow, error) {
 			return nil, fmt.Errorf("exp: flow spec %s: stop %gs not after start %gs",
 				fs.Scheme, fs.StopAt.Seconds(), fs.StartAt.Seconds())
 		}
+		if r.Net.Route(fs.Route) == nil {
+			return nil, fmt.Errorf("exp: flow spec %s: no route %q in topology %s",
+				fs.Scheme, fs.Route, r.Cfg.Topology)
+		}
 		count := fs.Count
 		if count <= 0 {
 			count = 1
@@ -269,7 +367,7 @@ func (r *Rig) AddFlowSpecs(specs ...FlowSpec) ([]*Flow, error) {
 		if src == nil {
 			src = transport.Backlogged{}
 		}
-		f.Probe = r.AddFlowSrc(f.Scheme, rtt, f.Spec.StartAt, src)
+		f.Probe = r.AddFlowOn(f.Spec.Route, f.Scheme, rtt, f.Spec.StartAt, src)
 		if stop := f.Spec.StopAt; stop > 0 {
 			probe := f.Probe
 			r.Sch.At(stop, func() {
@@ -410,27 +508,39 @@ func newCBR(r *Rig, rtt sim.Time, rateBps float64) *crosstraffic.RawSource {
 	return crosstraffic.NewCBR(r.Net, rtt, rateBps)
 }
 
-// AddCross attaches a named cross-traffic generator to the rig (used by
-// cmd/nimbus-sim and the examples). kind is one of: none, cubic, reno,
-// poisson, cbr, trace, video4k, video1080p.
+// AddCross attaches a named cross-traffic generator to the rig's default
+// route (used by cmd/nimbus-sim and the examples). kind is one of: none,
+// cubic, reno, poisson, cbr, trace, video4k, video1080p.
 func AddCross(r *Rig, kind string, rateBps float64, rtt sim.Time) error {
+	return AddCrossOn(r, "", kind, rateBps, rtt)
+}
+
+// AddCrossOn is AddCross on a named route of the rig's topology, so
+// cross traffic can enter at individual hops (parking-lot contention) or
+// on the reverse path (ACK-path congestion via "rev-cross").
+func AddCrossOn(r *Rig, route, kind string, rateBps float64, rtt sim.Time) error {
+	if r.Net.Route(route) == nil {
+		return fmt.Errorf("exp: cross traffic %q: no route %q in topology %s", kind, route, r.Cfg.Topology)
+	}
 	switch kind {
 	case "none", "":
 	case "cubic":
-		r.AddCubicCross(1, rtt, 0)
+		s := transport.NewSenderOn(r.Net, route, rtt, cc.NewCubic(), transport.Backlogged{}, r.Rng.Split("ccross0"))
+		s.Start(0)
 	case "reno":
-		s := transport.NewSender(r.Net, rtt, cc.NewReno(), transport.Backlogged{}, r.Rng.Split("reno-cross"))
+		s := transport.NewSenderOn(r.Net, route, rtt, cc.NewReno(), transport.Backlogged{}, r.Rng.Split("reno-cross"))
 		s.Start(0)
 	case "poisson":
-		newPoisson(r, rtt, rateBps).Start(0)
+		crosstraffic.NewPoissonOn(r.Net, route, rtt, rateBps, r.Rng.Split("poisson")).Start(0)
 	case "cbr":
-		newCBR(r, rtt, rateBps).Start(0)
+		crosstraffic.NewCBROn(r.Net, route, rtt, rateBps).Start(0)
 	case "trace":
 		w := &crosstraffic.TraceWorkload{
 			Net:     r.Net,
 			Rng:     r.Rng.Split("trace"),
 			LoadBps: rateBps,
 			RTT:     rtt,
+			Route:   route,
 			NewCC:   func() transport.Controller { return cc.NewCubic() },
 		}
 		w.Start(0)
@@ -440,7 +550,7 @@ func AddCross(r *Rig, kind string, rateBps float64, rtt sim.Time) error {
 			ladder = crosstraffic.Ladder4K
 		}
 		v := &crosstraffic.VideoClient{
-			Net: r.Net, Rng: r.Rng.Split("video"), RTT: rtt,
+			Net: r.Net, Rng: r.Rng.Split("video"), RTT: rtt, Route: route,
 			Ladder: ladder,
 			NewCC:  func() transport.Controller { return cc.NewCubic() },
 		}

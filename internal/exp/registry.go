@@ -19,8 +19,8 @@ type Experiment struct {
 }
 
 // Registry maps experiment ids ("fig01".."fig26", "table1", "tableE",
-// "mobile", "coexist") to their runners. cmd/nimbus-bench and the root
-// benchmarks both use it.
+// "mobile", "coexist", "topo") to their runners. cmd/nimbus-bench and
+// the root benchmarks both use it.
 var Registry = map[string]Experiment{
 	"fig01": {"fig01", "Motivating comparison (Cubic / delay-control / Nimbus)",
 		func(seed int64, quick bool) string { return FormatFig01(Fig01(seed)) }},
@@ -76,6 +76,8 @@ var Registry = map[string]Experiment{
 		func(seed int64, quick bool) string { return FormatCoexist(Coexist(seed, quick)) }},
 	"mobile": {"mobile", "Time-varying links: schemes x capacity-trace corpus",
 		func(seed int64, quick bool) string { return FormatMobile(Mobile(seed, quick)) }},
+	"topo": {"topo", "Multi-hop topologies: parking-lot fairness, congested ACK paths",
+		func(seed int64, quick bool) string { return FormatTopo(Topo(seed, quick)) }},
 	"table1": {"table1", "Classification by traffic class",
 		func(seed int64, quick bool) string { return FormatTable1(Table1(seed, quick)) }},
 	"tableE": {"tableE", "Buffer/RTT/AQM robustness",
@@ -102,9 +104,10 @@ func Run(id string, seed int64, quick bool) (string, error) {
 }
 
 // ListText renders the uniform -list-* flag output every CLI shares:
-// the scheme registry, the embedded trace corpus, and the experiment
-// index, concatenated in that order for whichever flags are set.
-func ListText(schemes, traces, experiments bool) (string, error) {
+// the scheme registry, the embedded trace corpus, the topology presets,
+// and the experiment index, concatenated in that order for whichever
+// flags are set.
+func ListText(schemes, traces, topologies, experiments bool) (string, error) {
 	var b strings.Builder
 	if schemes {
 		b.WriteString(spec.FormatList())
@@ -115,6 +118,9 @@ func ListText(schemes, traces, experiments bool) (string, error) {
 			return "", err
 		}
 		b.WriteString(out)
+	}
+	if topologies {
+		b.WriteString(FormatTopologyList())
 	}
 	if experiments {
 		b.WriteString(FormatExperimentList())
@@ -127,11 +133,11 @@ func ListText(schemes, traces, experiments bool) (string, error) {
 // error) and reports true, so each main can simply return. Keeping the
 // dispatch here, next to the renderers, means the three binaries cannot
 // drift in output, error path, or exit code.
-func HandleListFlags(schemes, traces, experiments bool) bool {
-	if !schemes && !traces && !experiments {
+func HandleListFlags(schemes, traces, topologies, experiments bool) bool {
+	if !schemes && !traces && !topologies && !experiments {
 		return false
 	}
-	out, err := ListText(schemes, traces, experiments)
+	out, err := ListText(schemes, traces, topologies, experiments)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -147,6 +153,26 @@ func FormatExperimentList() string {
 	for _, id := range IDs() {
 		fmt.Fprintf(&b, "%-8s %s\n", id, Registry[id].Title)
 	}
+	return b.String()
+}
+
+// FormatTopologyList renders the registered topology presets with their
+// hop structure — the text every CLI prints for -list-topologies. Chain
+// specs ("access(x4,5ms)->bn") are accepted anywhere a preset name is.
+func FormatTopologyList() string {
+	var b strings.Builder
+	for _, name := range netem.TopologyNames() {
+		ts, err := netem.ParseTopology(name)
+		if err != nil {
+			continue
+		}
+		var hops []string
+		for _, l := range ts.Links {
+			hops = append(hops, l.Name)
+		}
+		fmt.Fprintf(&b, "%-14s %-28s %s\n", name, strings.Join(hops, "->"), netem.TopologyDoc(name))
+	}
+	b.WriteString("or a chain spec: name(params,...)->... with params like 100mbps, x4, 5ms, droptail|pie|codel, buf=50ms, pattern=step:6:24:2000\n")
 	return b.String()
 }
 

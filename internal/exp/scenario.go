@@ -33,6 +33,7 @@ func NetConfigFor(sc runner.Scenario) NetConfig {
 		AQM:       sc.AQM,
 		PIETarget: sim.FromSeconds(sc.PIETargetMs / 1e3),
 		Seed:      sc.EffectiveSeed(),
+		Topology:  sc.Topology,
 	}
 }
 
@@ -65,6 +66,11 @@ func RigForScenario(sc runner.Scenario) (*Rig, Scheme, *FlowProbe, error) {
 		return nil, Scheme{}, nil, err
 	}
 	cfg.Schedule = sched
+	// Validate the topology up front so a malformed spec is a scenario
+	// error, not a panic out of NewRig.
+	if _, err := netem.ParseTopology(sc.Topology); err != nil {
+		return nil, Scheme{}, nil, err
+	}
 	r := NewRig(cfg)
 	var mu core.MuEstimator
 	if r.Link.Varying() {
@@ -127,6 +133,7 @@ func RunScenario(sc runner.Scenario) runner.Result {
 		"utilization":     r.Link.Utilization(),
 		"dropped_packets": float64(r.Link.DroppedPackets),
 	}
+	hopMetrics(m, r)
 	// A run that delivers nothing (reachable on dark/outage schedules) has
 	// no delay samples and NaN summaries; drop non-finite values so one
 	// such cell cannot abort JSON emission for the whole sweep.
@@ -168,6 +175,9 @@ func RunFlowMixScenario(sc runner.Scenario) runner.Result {
 		return fail(err)
 	}
 	cfg.Schedule = sched
+	if _, err := netem.ParseTopology(sc.Topology); err != nil {
+		return fail(err)
+	}
 	r := NewRig(cfg)
 	flows, err := r.AddFlowSpecs(specs...)
 	if err != nil {
@@ -206,6 +216,7 @@ func RunFlowMixScenario(sc runner.Scenario) runner.Result {
 	for i := range flows {
 		m[fmt.Sprintf("flow%02d_mbps", i)] = st.PerFlowMbps[i]
 	}
+	hopMetrics(m, r)
 	if len(sharedDelay.Samples()) > 0 {
 		dMean, dQs := sharedDelay.MeanQuantiles(0.5, 0.95)
 		m["qdelay_mean_ms"] = dMean
@@ -218,6 +229,25 @@ func RunFlowMixScenario(sc runner.Scenario) runner.Result {
 		}
 	}
 	return runner.Result{Scenario: sc, Metrics: m, Events: r.Sch.Executed}
+}
+
+// hopMetrics decomposes the path into per-hop measurements on multi-hop
+// topologies: each hop's utilization, drops, and mean queueing delay land
+// as hopNN_<name>_* metrics. Single-bottleneck runs emit nothing extra,
+// so pre-topology results (and their JSON) are unchanged.
+func hopMetrics(m map[string]float64, r *Rig) {
+	links := r.Net.Links()
+	if len(links) <= 1 {
+		return
+	}
+	for i, l := range links {
+		prefix := fmt.Sprintf("hop%02d_%s_", i, l.Name)
+		m[prefix+"util"] = l.Utilization()
+		// The discipline's own counter, so CoDel's dequeue-time drops
+		// (invisible to Link.DroppedPackets) are included.
+		m[prefix+"drops"] = float64(l.Q.DropCount())
+		m[prefix+"qdelay_ms"] = l.MeanQueueDelay().Millis()
+	}
 }
 
 // RunSweep expands the grid and executes it on the pool, reporting

@@ -1,0 +1,150 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	spec "nimbus/internal/scheme"
+	"nimbus/internal/sim"
+)
+
+// The topo experiment family is what the topology subsystem buys: the
+// paper evaluates elasticity detection on a single bottleneck with an
+// ideal reverse path, and this family probes the two classic deployment
+// conditions that shape breaks — multi-bottleneck parking-lot contention
+// (does a scheme crossing several congested hops hold a fair share
+// against single-hop competitors?) and a congested ACK path (does the
+// forward direction survive ACK thinning and loss?) — for Nimbus against
+// the cubic/copa/bbr baselines. Neither scenario exists as a figure in
+// the paper; both are a topology preset plus routed flow specs here.
+
+// TopoSchemes are the schemes under test.
+var TopoSchemes = []string{"nimbus", "cubic", "copa", "bbr"}
+
+// TopoRow is one (scenario, scheme) cell.
+type TopoRow struct {
+	Scenario string // "parking-lot" or "rev-congested"
+	Scheme   string
+	// Mbps is the scheme-under-test's throughput on the full route.
+	Mbps float64
+	// CrossMbps is the mean throughput of the competing flows
+	// (parking-lot: the per-hop cubic flows; rev-congested: zero).
+	CrossMbps float64
+	// Jain scores the long flow against the per-hop flows (parking-lot).
+	Jain float64
+	// HopUtil is each hop's utilization, in topology order.
+	HopUtil []float64
+	// HopQDelayMs is each hop's mean queueing delay.
+	HopQDelayMs []float64
+	// AckDrops counts ACK packets lost on the congested reverse path
+	// (rev-congested only; the reverse link's own drop counter would also
+	// include the CBR cross traffic's losses).
+	AckDrops uint64
+}
+
+// TopoParkingLot runs one scheme over the parking-lot preset: the scheme
+// under test crosses all three equal-rate hops while one cubic flow
+// contends at each hop.
+func TopoParkingLot(schemeName string, seed int64, dur sim.Time) TopoRow {
+	rtt := 50 * sim.Millisecond
+	r := NewRig(NetConfig{
+		RateMbps: 48, RTT: rtt, Buffer: 100 * sim.Millisecond,
+		Seed:     sim.DeriveSeed(seed, "topo/parking-lot/"+schemeName),
+		Topology: "parking-lot",
+	})
+	cubic := spec.MustParse("cubic")
+	flows, err := r.AddFlowSpecs(
+		FlowSpec{Scheme: spec.MustParse(schemeName)},
+		FlowSpec{Scheme: cubic, Route: "hop1"},
+		FlowSpec{Scheme: cubic, Route: "hop2"},
+		FlowSpec{Scheme: cubic, Route: "hop3"},
+	)
+	if err != nil {
+		panic(err)
+	}
+	r.Sch.RunUntil(dur)
+	st := FlowStats(flows, dur)
+	row := TopoRow{Scenario: "parking-lot", Scheme: schemeName,
+		Mbps: st.PerFlowMbps[0], Jain: st.Jain}
+	for _, v := range st.PerFlowMbps[1:] {
+		row.CrossMbps += v
+	}
+	row.CrossMbps /= float64(len(st.PerFlowMbps) - 1)
+	for _, l := range r.Net.Links() {
+		row.HopUtil = append(row.HopUtil, l.Utilization())
+		row.HopQDelayMs = append(row.HopQDelayMs, l.MeanQueueDelay().Millis())
+	}
+	return row
+}
+
+// TopoRevCongested runs one scheme over the rev-congested preset: the
+// scheme's ACKs share a narrow reverse link (5% of nominal) with a CBR
+// stream sized to over-subscribe it, so ACKs queue and drop.
+func TopoRevCongested(schemeName string, seed int64, dur sim.Time) TopoRow {
+	rtt := 50 * sim.Millisecond
+	r := NewRig(NetConfig{
+		RateMbps: 48, RTT: rtt, Buffer: 100 * sim.Millisecond,
+		Seed:     sim.DeriveSeed(seed, "topo/rev-congested/"+schemeName),
+		Topology: "rev-congested",
+	})
+	flows, err := r.AddFlowSpecs(FlowSpec{Scheme: spec.MustParse(schemeName)})
+	if err != nil {
+		panic(err)
+	}
+	// The reverse link carries ~2 Mbit/s of ACKs at full forward
+	// throughput against 2.4 Mbit/s capacity; 1.5 Mbit/s of CBR pushes it
+	// into overload.
+	if err := AddCrossOn(r, "rev-cross", "cbr", 1.5e6, rtt); err != nil {
+		panic(err)
+	}
+	r.Sch.RunUntil(dur)
+	row := TopoRow{Scenario: "rev-congested", Scheme: schemeName,
+		Mbps: flows[0].Probe.MeanMbps(0, dur), AckDrops: r.Net.AckDrops}
+	for _, l := range r.Net.Links() {
+		row.HopUtil = append(row.HopUtil, l.Utilization())
+		row.HopQDelayMs = append(row.HopQDelayMs, l.MeanQueueDelay().Millis())
+	}
+	return row
+}
+
+// Topo runs the family: every scheme through both scenarios, fanned out
+// on the package worker pool.
+func Topo(seed int64, quick bool) []TopoRow {
+	dur := 60 * sim.Second
+	if quick {
+		dur = 20 * sim.Second
+	}
+	n := len(TopoSchemes)
+	return mapCells(2*n, func(i int) TopoRow {
+		schemeName := TopoSchemes[i%n]
+		if i < n {
+			return TopoParkingLot(schemeName, seed, dur)
+		}
+		return TopoRevCongested(schemeName, seed, dur)
+	})
+}
+
+// FormatTopo renders the family's report.
+func FormatTopo(rows []TopoRow) string {
+	var b strings.Builder
+	b.WriteString("Topo: multi-hop topologies (parking-lot fairness; congested ACK path)\n")
+	fmt.Fprintf(&b, "%-14s %-8s %8s %10s %6s %9s  %s\n",
+		"scenario", "scheme", "Mbit/s", "crossMbps", "jain", "ackDrops", "per-hop util / qdelay(ms)")
+	for _, r := range rows {
+		var hops []string
+		for i := range r.HopUtil {
+			hops = append(hops, fmt.Sprintf("%.2f/%.1f", r.HopUtil[i], r.HopQDelayMs[i]))
+		}
+		cross, jain, drops := "-", "-", "-"
+		if r.Scenario == "parking-lot" {
+			cross = fmt.Sprintf("%.2f", r.CrossMbps)
+			jain = fmt.Sprintf("%.3f", r.Jain)
+		} else {
+			drops = fmt.Sprintf("%d", r.AckDrops)
+		}
+		fmt.Fprintf(&b, "%-14s %-8s %8.2f %10s %6s %9s  [%s]\n",
+			r.Scenario, r.Scheme, r.Mbps, cross, jain, drops, strings.Join(hops, ", "))
+	}
+	b.WriteString("expected shape: parking-lot long flows get less than single-hop competitors (the classic multi-bottleneck penalty); on rev-congested, loss- and model-based schemes ride out ACK thinning while delay-based ones see reverse queueing as path delay\n")
+	return b.String()
+}

@@ -57,8 +57,11 @@ func (c *CoDel) doDequeue(now sim.Time) (p *Packet, okToDrop bool) {
 		c.firstAbove = 0
 		return nil, false
 	}
-	p.QueueDelay = now - p.EnqueuedAt
-	if p.QueueDelay < c.Target || c.q.queued() <= DefaultMSS {
+	// The control law acts on this hop's sojourn time; the packet's
+	// QueueDelay accumulates it into the route total, like DropTail.
+	sojourn := now - p.EnqueuedAt
+	p.QueueDelay += sojourn
+	if sojourn < c.Target || c.q.queued() <= DefaultMSS {
 		c.firstAbove = 0
 		return p, false
 	}
@@ -123,3 +126,7 @@ func (c *CoDel) BytesQueued() int { return c.q.queued() }
 
 // Len returns the number of queued packets.
 func (c *CoDel) Len() int { return c.q.len() }
+
+// DropCount returns the total drops (control-law dequeue drops plus
+// hard-cap refusals).
+func (c *CoDel) DropCount() uint64 { return c.Drops }

@@ -16,6 +16,8 @@ import "nimbus/internal/sim"
 // no-handle completion events and no per-packet state beyond the slot.
 type Link struct {
 	Sch *sim.Scheduler
+	// Name labels the link as a hop of a topology ("bn", "access", ...).
+	Name string
 	// Schedule is the capacity signal. Immutable after construction.
 	Schedule *RateSchedule
 	Q        Queue
@@ -44,11 +46,18 @@ type Link struct {
 	txVarDone  func()
 	rateChange func()
 
+	// enterFn is the topology's prebound entry callback ("send the event's
+	// packet on this link"): one per link, so inter-hop forwarding rides
+	// pooled AfterArg events with no per-packet closures.
+	enterFn func(arg any)
+
 	DeliveredPackets uint64
 	DeliveredBytes   uint64
 	DroppedPackets   uint64
 	busyTime         sim.Time
 	lastStart        sim.Time
+	qdelaySum        sim.Time
+	dequeues         uint64
 }
 
 // NewLink returns a constant-rate link draining q at rateBps.
@@ -112,6 +121,8 @@ func (l *Link) startNext() {
 	}
 	l.busy = true
 	l.lastStart = now
+	l.qdelaySum += now - p.EnqueuedAt
+	l.dequeues++
 	l.txPkt = p
 	if !l.varying {
 		tx := l.TxTime(p.Size)
@@ -192,6 +203,16 @@ func (l *Link) finishVarTx() {
 
 // Busy reports whether a packet is currently being transmitted.
 func (l *Link) Busy() bool { return l.busy }
+
+// MeanQueueDelay returns the mean per-packet queueing delay at this hop
+// (time between enqueue and the start of transmission), the per-hop
+// decomposition of a route's end-to-end queueing delay.
+func (l *Link) MeanQueueDelay() sim.Time {
+	if l.dequeues == 0 {
+		return 0
+	}
+	return l.qdelaySum / sim.Time(l.dequeues)
+}
 
 // Utilization returns the fraction of time the link has been transmitting
 // since the start of the simulation.

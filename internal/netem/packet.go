@@ -1,33 +1,51 @@
-// Package netem emulates the paper's network model (Fig. 2): senders and
-// cross-traffic sources share a single bottleneck link of rate µ with a
-// finite buffer, and each flow has its own propagation delays. It is the
+// Package netem emulates the paper's network model and its
+// generalizations: flows and cross-traffic sources traverse a Topology of
+// named nodes and directed Links (each with its own queue, AQM, and
+// capacity schedule) along per-flow Routes. The paper's Fig. 2
+// single-bottleneck network is the trivial one-hop topology. It is the
 // stand-in for the Mahimahi emulator used in the paper: a packet-level
 // discrete-event model with drop-tail, PIE and CoDel queues.
 package netem
 
 import "nimbus/internal/sim"
 
-// FlowID identifies a flow at the bottleneck.
+// FlowID identifies a flow in the topology.
 type FlowID uint32
 
-// Packet is a data packet traversing the bottleneck. ACKs are not modelled
-// as packets: the reverse path is uncongested (as in the paper's model), so
-// ACK delivery is a scheduled event with the flow's reverse propagation
-// delay.
+// Packet is a data packet traversing the topology. On routes with an
+// ideal (pure-delay) reverse path, ACKs are not modelled as packets — ACK
+// delivery is a scheduled event with the flow's reverse propagation
+// delay, exactly the paper's model. On routes whose ACK direction crosses
+// links, the ACK state rides through those links' queues as a small
+// packet (AckSize bytes), so the reverse path can be congested.
 type Packet struct {
 	Flow FlowID
 	Seq  uint64
 	Size int // bytes, including headers
 
 	SentAt     sim.Time // when the sender emitted it
-	EnqueuedAt sim.Time // when it entered the bottleneck queue
-	QueueDelay sim.Time // time spent queued (excludes transmission), set at dequeue
+	EnqueuedAt sim.Time // when it entered the current hop's queue
+	QueueDelay sim.Time // total time spent queued across hops (excludes transmission)
 
 	// Raw marks cross-traffic packets injected without a transport
 	// (CBR/Poisson sources). They are counted at the receiver side but
 	// generate no ACKs.
 	Raw bool
+
+	// Routing state, owned by the topology: the route the packet follows,
+	// its position on it, and the direction (data vs. ACK). ACK packets
+	// carry their sender-side delivery callback so the reverse traversal
+	// stays allocation-free.
+	route  *Route
+	hop    int16
+	rev    bool
+	ackFn  func(arg any)
+	ackArg any
 }
+
+// AckSize is the wire size of an ACK packet on congested reverse paths
+// (a TCP ACK with options, rounded up).
+const AckSize = 64
 
 // DefaultMSS is the segment size used throughout, matching a typical
 // 1500-byte Ethernet MTU minus headers plus our accounting convention: we

@@ -117,11 +117,12 @@ func (p *PIE) Enqueue(pkt *Packet, now sim.Time) bool {
 	return true
 }
 
-// Dequeue removes the head packet.
+// Dequeue removes the head packet. Queueing delay accumulates across
+// hops, like DropTail.Dequeue.
 func (p *PIE) Dequeue(now sim.Time) *Packet {
 	pkt := p.q.pop()
 	if pkt != nil {
-		pkt.QueueDelay = now - pkt.EnqueuedAt
+		pkt.QueueDelay += now - pkt.EnqueuedAt
 	}
 	return pkt
 }
@@ -131,6 +132,9 @@ func (p *PIE) BytesQueued() int { return p.q.queued() }
 
 // Len returns the number of queued packets.
 func (p *PIE) Len() int { return p.q.len() }
+
+// DropCount returns the total drops (probabilistic plus hard-cap).
+func (p *PIE) DropCount() uint64 { return p.Drops }
 
 // DropProb exposes the current drop probability (for tests).
 func (p *PIE) DropProb() float64 { return p.prob }

@@ -2,14 +2,19 @@ package netem
 
 import "nimbus/internal/sim"
 
-// Queue is the buffering discipline at the bottleneck. Enqueue returns
-// false when the packet is dropped (tail drop or AQM drop). Dequeue
-// returns nil when empty.
+// Queue is the buffering discipline at a hop. Enqueue returns false when
+// the packet is dropped (tail drop or AQM drop). Dequeue returns nil
+// when empty. DropCount is the discipline's total drops — enqueue
+// refusals (which Link.DroppedPackets also sees) plus any dequeue-time
+// drops (CoDel's control-law drops happen inside Dequeue and never reach
+// the link's counter), so per-hop drop metrics read it instead of the
+// link counter.
 type Queue interface {
 	Enqueue(p *Packet, now sim.Time) bool
 	Dequeue(now sim.Time) *Packet
 	BytesQueued() int
 	Len() int
+	DropCount() uint64
 }
 
 // fifo is the common FIFO storage used by all queue disciplines: a ring
@@ -85,11 +90,13 @@ func (d *DropTail) Enqueue(p *Packet, now sim.Time) bool {
 	return true
 }
 
-// Dequeue removes and returns the head packet, recording its queueing delay.
+// Dequeue removes and returns the head packet, recording its queueing
+// delay. The delay accumulates across hops (a packet starts at zero when
+// sent), so on multi-hop routes QueueDelay is the route's total queueing.
 func (d *DropTail) Dequeue(now sim.Time) *Packet {
 	p := d.q.pop()
 	if p != nil {
-		p.QueueDelay = now - p.EnqueuedAt
+		p.QueueDelay += now - p.EnqueuedAt
 	}
 	return p
 }
@@ -112,6 +119,9 @@ func (d *DropTail) BytesForFlow(id FlowID) int {
 
 // Len returns the number of queued packets.
 func (d *DropTail) Len() int { return d.q.len() }
+
+// DropCount returns the total tail drops.
+func (d *DropTail) DropCount() uint64 { return d.Drops }
 
 // BufferBytesForDelay returns the buffer size in bytes corresponding to
 // "ms milliseconds of buffering" at rateBps (bits/s), the way the paper

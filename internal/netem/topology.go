@@ -1,0 +1,373 @@
+package netem
+
+import (
+	"fmt"
+
+	"nimbus/internal/sim"
+)
+
+// Hop is one step of a route: a wire-delay segment crossed before
+// entering the hop's link.
+type Hop struct {
+	Link  *Link
+	Delay sim.Time
+}
+
+// Route is a flow path through the topology: the ordered hops of the data
+// direction and, separately, of the ACK direction. An empty Rev list is
+// the paper's ideal reverse path (a pure propagation delay); a non-empty
+// one sends ACK packets through those links' queues, so the reverse path
+// can be congested.
+type Route struct {
+	Name string
+	Fwd  []Hop
+	Rev  []Hop
+}
+
+// Topology is a network of named nodes and directed links with per-flow
+// routes. Each attached flow follows one route; its own access
+// propagation delays (FwdDelay/RevDelay) come on top of the route's hop
+// delays, so flows sharing a route can still have different base RTTs.
+//
+// The paper's Fig. 2 single-bottleneck network is the trivial topology:
+// one link, one route, an ideal reverse path (see NewNetwork). Network is
+// an alias for Topology, so every layer that speaks *netem.Network works
+// on any topology unchanged.
+//
+// Hop forwarding is allocation-free: packets ride pooled AfterArg events
+// between hops through each link's prebound entry callback, and the
+// topology owns a shared packet free list that senders and raw sources
+// draw from and that delivery (including delivery for detached flows)
+// returns packets to.
+type Topology struct {
+	Sch *sim.Scheduler
+	// Link is the designated bottleneck hop: the µ link that oracles and
+	// single-valued link metrics (utilization, drops) refer to.
+	Link *Link
+
+	links  []*Link
+	routes map[string]*Route
+	def    *Route
+	nodes  []string
+
+	flows map[FlowID]*Attachment
+	next  FlowID
+
+	// onDeliver taps run for every data packet reaching the end of its
+	// route (before per-flow delivery).
+	onDeliver []func(p *Packet, now sim.Time)
+
+	pktFree []*Packet
+	// OrphanRecycled counts in-flight packets recycled at delivery because
+	// their flow was detached (or its receiver cleared) — observable in
+	// tests for the detach-leak regression.
+	OrphanRecycled uint64
+	// AckDrops counts ACK packets lost on congested reverse routes.
+	// Reverse links carry cross traffic too, so their DroppedPackets
+	// counter alone cannot say how many of the losses were ACKs.
+	AckDrops uint64
+}
+
+// Network is the trivial-through-general topology every layer attaches
+// to. (Historically the single-bottleneck struct; the alias keeps the
+// paper-model name in signatures while the implementation is the general
+// topology.)
+type Network = Topology
+
+// NewTopology returns an empty topology; add links and routes, then set
+// Link to the bottleneck hop.
+func NewTopology(sch *sim.Scheduler) *Topology {
+	return &Topology{
+		Sch:    sch,
+		routes: make(map[string]*Route),
+		flows:  make(map[FlowID]*Attachment),
+	}
+}
+
+// NewNetwork builds the paper's single-bottleneck network: one link, one
+// route over it, an ideal reverse path.
+func NewNetwork(sch *sim.Scheduler, link *Link) *Network {
+	t := NewTopology(sch)
+	t.AddLink(link)
+	t.AddRoute(&Route{Fwd: []Hop{{Link: link}}})
+	t.Link = link
+	return t
+}
+
+// AddLink registers a link as a hop of this topology, wiring its delivery
+// and drop paths to the topology's forwarding logic.
+func (t *Topology) AddLink(l *Link) {
+	l.Deliver = t.advance
+	l.OnDrop = t.drop
+	l.enterFn = func(arg any) { l.Send(arg.(*Packet)) }
+	t.links = append(t.links, l)
+}
+
+// AddRoute registers a route. The first route added with an empty name is
+// the default route Attach uses.
+func (t *Topology) AddRoute(r *Route) {
+	if len(r.Fwd) == 0 {
+		panic("netem: route " + r.Name + " has no forward hops")
+	}
+	t.routes[r.Name] = r
+	if r.Name == "" {
+		t.def = r
+	}
+}
+
+// Links returns the topology's links in registration order (the hop order
+// presets and chain specs declare).
+func (t *Topology) Links() []*Link { return t.links }
+
+// Route returns the named route ("" is the default), or nil.
+func (t *Topology) Route(name string) *Route {
+	if name == "" {
+		return t.def
+	}
+	return t.routes[name]
+}
+
+// RouteNames returns the registered route names (unsorted).
+func (t *Topology) RouteNames() []string {
+	out := make([]string, 0, len(t.routes))
+	for name := range t.routes {
+		out = append(out, name)
+	}
+	return out
+}
+
+// SetNodes records the topology's node names (display/introspection).
+func (t *Topology) SetNodes(nodes []string) { t.nodes = nodes }
+
+// Nodes returns the topology's node names in path order.
+func (t *Topology) Nodes() []string { return t.nodes }
+
+// GetPacket returns a packet from the shared free list (or a fresh one).
+// Callers reset it with a composite literal before use.
+func (t *Topology) GetPacket() *Packet {
+	if n := len(t.pktFree); n > 0 {
+		p := t.pktFree[n-1]
+		t.pktFree[n-1] = nil
+		t.pktFree = t.pktFree[:n-1]
+		return p
+	}
+	return &Packet{}
+}
+
+// PutPacket returns a packet to the shared free list. The caller must be
+// the packet's last holder.
+func (t *Topology) PutPacket(p *Packet) {
+	p.route = nil
+	p.ackFn = nil
+	p.ackArg = nil
+	t.pktFree = append(t.pktFree, p)
+}
+
+// FreePackets returns the shared free list's size (tests).
+func (t *Topology) FreePackets() int { return len(t.pktFree) }
+
+// Attachment describes one flow's path through the topology.
+type Attachment struct {
+	ID       FlowID
+	FwdDelay sim.Time // one-way sender→first hop (plus last hop→receiver wire)
+	RevDelay sim.Time // one-way receiver→sender (receiver→first reverse hop on congested reverse paths)
+
+	// Receive is called when a data packet of this flow exits its route.
+	Receive func(p *Packet, now sim.Time)
+	// Dropped, if set, is called when a data packet of this flow is
+	// dropped at any hop.
+	Dropped func(p *Packet, now sim.Time)
+
+	net   *Topology
+	route *Route
+}
+
+// BaseRTT returns the two-way propagation delay of a flow attachment:
+// the access delays plus every hop delay of its route, both directions.
+func (a *Attachment) BaseRTT() sim.Time {
+	rtt := a.FwdDelay + a.RevDelay
+	for _, h := range a.route.Fwd {
+		rtt += h.Delay
+	}
+	for _, h := range a.route.Rev {
+		rtt += h.Delay
+	}
+	return rtt
+}
+
+// Attach adds a flow on the default route with the given access RTT,
+// split evenly between the forward and reverse directions.
+func (t *Topology) Attach(rtt sim.Time) *Attachment {
+	return t.AttachAsym(rtt/2, rtt-rtt/2)
+}
+
+// AttachOn adds a flow on the named route ("" = default).
+func (t *Topology) AttachOn(route string, rtt sim.Time) *Attachment {
+	return t.AttachAsymOn(route, rtt/2, rtt-rtt/2)
+}
+
+// AttachAsym adds a flow on the default route with explicit one-way
+// access delays.
+func (t *Topology) AttachAsym(fwd, rev sim.Time) *Attachment {
+	return t.AttachAsymOn("", fwd, rev)
+}
+
+// AttachAsymOn adds a flow on the named route with explicit one-way
+// access delays. Unknown routes are a programming error and panic.
+func (t *Topology) AttachAsymOn(route string, fwd, rev sim.Time) *Attachment {
+	r := t.Route(route)
+	if r == nil {
+		panic(fmt.Sprintf("netem: no route %q in topology", route))
+	}
+	t.next++
+	a := &Attachment{ID: t.next, FwdDelay: fwd, RevDelay: rev, net: t, route: r}
+	t.flows[a.ID] = a
+	return a
+}
+
+// Detach removes a flow. In-flight packets of the flow are delivered to a
+// no-op receiver and recycled into the shared packet pool.
+func (t *Topology) Detach(id FlowID) { delete(t.flows, id) }
+
+// GetPacket draws from the topology's shared packet pool.
+func (a *Attachment) GetPacket() *Packet { return a.net.GetPacket() }
+
+// PutPacket returns a delivered packet to the topology's shared pool.
+func (a *Attachment) PutPacket(p *Packet) { a.net.PutPacket(p) }
+
+// Send injects a data packet from the flow's sender: after the access
+// propagation delay (plus the first hop's wire delay) it reaches the
+// first hop's queue.
+func (a *Attachment) Send(p *Packet) {
+	p.Flow = a.ID
+	p.SentAt = a.net.Sch.Now()
+	p.QueueDelay = 0
+	p.route = a.route
+	p.hop = 0
+	p.rev = false
+	h := a.route.Fwd[0]
+	a.net.Sch.AfterArg(a.FwdDelay+h.Delay, h.Link.enterFn, p)
+}
+
+// SendAck schedules fn at the sender after the reverse path: a pure
+// propagation delay on ideal reverse routes, or the congested reverse
+// hops plus the propagation delay otherwise.
+func (a *Attachment) SendAck(fn func(now sim.Time)) {
+	a.SendAckArg(func(any) { fn(a.net.Sch.Now()) }, nil)
+}
+
+// SendAckArg delivers fn(arg) across the flow's reverse path. On ideal
+// reverse routes the argument rides on a pooled scheduler event (the
+// paper's uncongested-ACK model, allocation-free). On routes with reverse
+// hops, the ACK state rides through those links' queues as an AckSize
+// packet from the shared pool — queued, delayed, and possibly dropped
+// like any other traffic; a dropped ACK packet simply never invokes fn
+// (transports recover via dup-ACKs and RTOs).
+func (a *Attachment) SendAckArg(fn func(arg any), arg any) {
+	r := a.route
+	if len(r.Rev) == 0 {
+		a.net.Sch.AfterArg(a.RevDelay, fn, arg)
+		return
+	}
+	p := a.net.GetPacket()
+	*p = Packet{Flow: a.ID, Size: AckSize, Raw: true}
+	p.SentAt = a.net.Sch.Now()
+	p.route = r
+	p.hop = 0
+	p.rev = true
+	p.ackFn = fn
+	p.ackArg = arg
+	h := r.Rev[0]
+	a.net.Sch.AfterArg(a.RevDelay+h.Delay, h.Link.enterFn, p)
+}
+
+// advance is every link's delivery callback: it moves the packet to its
+// route's next hop, or completes the traversal — data packets are
+// delivered to the flow's receiver, ACK packets invoke their callback at
+// the sender. Inter-hop forwarding uses the link's prebound entry
+// callback on a pooled AfterArg event, so multi-hop paths cost zero
+// allocations per packet like the single-bottleneck fast path.
+func (t *Topology) advance(p *Packet, now sim.Time) {
+	if r := p.route; r != nil {
+		hops := r.Fwd
+		if p.rev {
+			hops = r.Rev
+		}
+		if n := int(p.hop) + 1; n < len(hops) {
+			p.hop = int16(n)
+			h := hops[n]
+			t.Sch.AfterArg(h.Delay, h.Link.enterFn, p)
+			return
+		}
+	}
+	if p.rev {
+		fn, arg := p.ackFn, p.ackArg
+		t.PutPacket(p)
+		fn(arg)
+		return
+	}
+	t.deliver(p, now)
+}
+
+func (t *Topology) deliver(p *Packet, now sim.Time) {
+	for _, f := range t.onDeliver {
+		f(p, now)
+	}
+	a, ok := t.flows[p.Flow]
+	if !ok || a.Receive == nil {
+		// The flow was detached (or its receiver stopped): the packet's
+		// journey ends here, so return it to the shared pool instead of
+		// leaking it from the allocation-free path.
+		t.OrphanRecycled++
+		t.PutPacket(p)
+		return
+	}
+	a.Receive(p, now)
+}
+
+func (t *Topology) drop(p *Packet, now sim.Time) {
+	if p.rev {
+		// A lost ACK: the callback never runs; transports recover.
+		t.AckDrops++
+		t.PutPacket(p)
+		return
+	}
+	a, ok := t.flows[p.Flow]
+	if !ok || a.Dropped == nil {
+		return
+	}
+	a.Dropped(p, now)
+}
+
+// OnDeliver registers a tap invoked for every data packet completing its
+// route (before per-flow delivery). Experiments use it to measure
+// aggregate cross-traffic rates and per-packet queueing delay.
+func (t *Topology) OnDeliver(f func(p *Packet, now sim.Time)) {
+	t.onDeliver = append(t.onDeliver, f)
+}
+
+// QueueDelayNow returns the current queueing delay implied by occupancy
+// at the bottleneck link's current rate (0 during an outage, when no
+// drain rate is defined).
+func (t *Topology) QueueDelayNow() sim.Time {
+	rate := t.Link.Rate()
+	if rate <= 0 {
+		return 0
+	}
+	return sim.FromSeconds(float64(t.Link.Q.BytesQueued()) * 8 / rate)
+}
+
+// String describes the network configuration.
+func (t *Topology) String() string {
+	if len(t.links) > 1 {
+		return fmt.Sprintf("bottleneck %.1f Mbit/s, %d hops, %d flows",
+			t.Link.Rate()/1e6, len(t.links), len(t.flows))
+	}
+	return fmt.Sprintf("bottleneck %.1f Mbit/s, %d flows", t.Link.Rate()/1e6, len(t.flows))
+}
+
+// Mbps converts bits/s to Mbit/s for reporting.
+func Mbps(bps float64) float64 { return bps / 1e6 }
+
+// BpsFromMbps converts Mbit/s to bits/s.
+func BpsFromMbps(m float64) float64 { return m * 1e6 }

@@ -1,0 +1,231 @@
+package netem
+
+import (
+	"testing"
+
+	"nimbus/internal/sim"
+)
+
+// twoHop builds sender →10ms→ [access 48 Mbit/s] →5ms→ [bn 12 Mbit/s] →
+// receiver with an ideal reverse path, returning the topology and links.
+func twoHop(sch *sim.Scheduler) (*Topology, *Link, *Link) {
+	access := NewLink(sch, 48e6, NewDropTail(1<<20))
+	access.Name = "access"
+	bn := NewLink(sch, 12e6, NewDropTail(1<<20))
+	bn.Name = "bn"
+	t := NewTopology(sch)
+	t.AddLink(access)
+	t.AddLink(bn)
+	t.AddRoute(&Route{
+		Fwd: []Hop{{Link: access}, {Link: bn, Delay: 5 * sim.Millisecond}},
+	})
+	t.Link = bn
+	return t, access, bn
+}
+
+// TestMultiHopTiming pins exact end-to-end timing across two hops: 10 ms
+// access delay, 0.25 ms serialization at 48 Mbit/s, 5 ms inter-hop wire,
+// 1 ms serialization at 12 Mbit/s → delivery at 16.25 ms.
+func TestMultiHopTiming(t *testing.T) {
+	sch := sim.NewScheduler()
+	topo, _, _ := twoHop(sch)
+	att := topo.AttachAsym(10*sim.Millisecond, 10*sim.Millisecond)
+	var deliveredAt sim.Time
+	att.Receive = func(p *Packet, now sim.Time) {
+		deliveredAt = now
+		topo.PutPacket(p)
+	}
+	p := topo.GetPacket()
+	*p = Packet{Seq: 1, Size: 1500}
+	att.Send(p)
+	sch.Run()
+	want := 10*sim.Millisecond + 250*sim.Microsecond + 5*sim.Millisecond + 1*sim.Millisecond
+	if deliveredAt != want {
+		t.Fatalf("delivered at %v, want %v", deliveredAt, want)
+	}
+}
+
+// TestMultiHopQueueDelayAccumulates: with the second hop backlogged, a
+// packet's QueueDelay is the sum of its per-hop queueing.
+func TestMultiHopQueueDelayAccumulates(t *testing.T) {
+	sch := sim.NewScheduler()
+	topo, _, bn := twoHop(sch)
+	att := topo.AttachAsym(0, 0)
+	var last sim.Time
+	att.Receive = func(p *Packet, now sim.Time) {
+		last = p.QueueDelay
+		topo.PutPacket(p)
+	}
+	// Three back-to-back packets: at the 48 Mbit/s access hop they queue
+	// briefly behind each other, then again behind the slow bottleneck.
+	for i := 0; i < 3; i++ {
+		p := topo.GetPacket()
+		*p = Packet{Seq: uint64(i), Size: 1500}
+		att.Send(p)
+	}
+	sch.Run()
+	// Last packet: access queueing 2*0.25 ms, bottleneck queueing is
+	// 2*1 ms minus the 2*0.75 ms head start the faster access hop gave
+	// the earlier packets' transmissions... easier to assert the sum is
+	// strictly larger than either hop alone could produce.
+	if last <= 500*sim.Microsecond {
+		t.Fatalf("accumulated queue delay %v does not include the bottleneck hop", last)
+	}
+	if bn.MeanQueueDelay() == 0 {
+		t.Fatal("bottleneck hop recorded no queueing")
+	}
+}
+
+// TestDetachRecyclesInFlight is the regression test for the detach leak:
+// packets of a detached flow that are still in flight must return to the
+// shared pool when they complete their route, not fall out of the
+// allocation-free path.
+func TestDetachRecyclesInFlight(t *testing.T) {
+	sch := sim.NewScheduler()
+	link := NewLink(sch, 12e6, NewDropTail(1<<20))
+	topo := NewNetwork(sch, link)
+	att := topo.Attach(20 * sim.Millisecond)
+	att.Receive = func(p *Packet, now sim.Time) { topo.PutPacket(p) }
+	const n = 5
+	for i := 0; i < n; i++ {
+		p := topo.GetPacket()
+		*p = Packet{Seq: uint64(i), Size: 1500}
+		att.Send(p)
+	}
+	topo.Detach(att.ID)
+	sch.Run()
+	if topo.OrphanRecycled != n {
+		t.Fatalf("recycled %d orphaned packets, want %d", topo.OrphanRecycled, n)
+	}
+	if got := topo.FreePackets(); got != n {
+		t.Fatalf("free list has %d packets after detach, want %d", got, n)
+	}
+}
+
+// revTopo builds a forward bottleneck plus a slow reverse link ACKs
+// traverse.
+func revTopo(sch *sim.Scheduler, revBuf int) (*Topology, *Link) {
+	bn := NewLink(sch, 48e6, NewDropTail(1<<20))
+	rev := NewLink(sch, 1e6, NewDropTail(revBuf))
+	rev.Name = "rev"
+	t := NewTopology(sch)
+	t.AddLink(bn)
+	t.AddLink(rev)
+	t.AddRoute(&Route{Fwd: []Hop{{Link: bn}}, Rev: []Hop{{Link: rev}}})
+	t.Link = bn
+	return t, rev
+}
+
+// TestRevRouteAckTiming: an ACK on a congested reverse route crosses the
+// reverse propagation delay and the reverse link's serialization.
+func TestRevRouteAckTiming(t *testing.T) {
+	sch := sim.NewScheduler()
+	topo, _ := revTopo(sch, 1<<20)
+	att := topo.AttachAsym(5*sim.Millisecond, 5*sim.Millisecond)
+	var ackAt sim.Time
+	sch.At(0, func() {
+		att.SendAckArg(func(any) { ackAt = sch.Now() }, nil)
+	})
+	sch.Run()
+	// 5 ms reverse propagation + 64 B at 1 Mbit/s = 0.512 ms.
+	want := 5*sim.Millisecond + sim.FromSeconds(64*8/1e6)
+	if ackAt != want {
+		t.Fatalf("ack delivered at %v, want %v", ackAt, want)
+	}
+	if topo.FreePackets() != 1 {
+		t.Fatalf("ack packet not recycled: free list %d", topo.FreePackets())
+	}
+}
+
+// TestRevRouteAckDrop: an ACK dropped on the congested reverse path never
+// invokes its callback, and its packet returns to the pool.
+func TestRevRouteAckDrop(t *testing.T) {
+	sch := sim.NewScheduler()
+	// 100-byte buffer: the first ACK goes straight into transmission, the
+	// second queues (64 B), the third would overflow and drops.
+	topo, rev := revTopo(sch, 100)
+	att := topo.AttachAsym(0, 0)
+	delivered := 0
+	sch.At(0, func() {
+		for i := 0; i < 3; i++ {
+			att.SendAckArg(func(any) { delivered++ }, nil)
+		}
+	})
+	sch.Run()
+	if delivered != 2 {
+		t.Fatalf("delivered %d acks, want 2 (third should drop)", delivered)
+	}
+	if rev.DroppedPackets != 1 {
+		t.Fatalf("reverse link dropped %d, want 1", rev.DroppedPackets)
+	}
+	if topo.FreePackets() != 3 {
+		t.Fatalf("free list %d after drop, want all three ack packets back", topo.FreePackets())
+	}
+}
+
+// TestIdealRevPathUnchanged: a route without reverse hops delivers ACKs
+// as pure-delay events — no packets, no link traffic.
+func TestIdealRevPathUnchanged(t *testing.T) {
+	sch := sim.NewScheduler()
+	link := NewLink(sch, 12e6, NewDropTail(1<<20))
+	topo := NewNetwork(sch, link)
+	att := topo.AttachAsym(3*sim.Millisecond, 7*sim.Millisecond)
+	var ackAt sim.Time
+	sch.At(0, func() {
+		att.SendAck(func(now sim.Time) { ackAt = now })
+	})
+	sch.Run()
+	if ackAt != 7*sim.Millisecond {
+		t.Fatalf("ack at %v, want 7ms", ackAt)
+	}
+	if link.DeliveredPackets != 0 || topo.FreePackets() != 0 {
+		t.Fatal("ideal reverse path should not touch links or the packet pool")
+	}
+}
+
+// TestRouteLookupAndBaseRTT covers route registration and the RTT
+// decomposition (access delays plus hop wire delays).
+func TestRouteLookupAndBaseRTT(t *testing.T) {
+	sch := sim.NewScheduler()
+	topo, access, bn := twoHop(sch)
+	topo.AddRoute(&Route{Name: "bn-only", Fwd: []Hop{{Link: bn}}})
+	if topo.Route("bn-only") == nil || topo.Route("") == nil || topo.Route("nope") != nil {
+		t.Fatal("route lookup broken")
+	}
+	att := topo.AttachAsymOn("", 10*sim.Millisecond, 10*sim.Millisecond)
+	want := 20*sim.Millisecond + 5*sim.Millisecond // access delays + bn hop wire
+	if att.BaseRTT() != want {
+		t.Fatalf("BaseRTT %v, want %v", att.BaseRTT(), want)
+	}
+	// The bn-only route has no hop wire delay, so only the access delays
+	// count.
+	short := topo.AttachAsymOn("bn-only", 10*sim.Millisecond, 10*sim.Millisecond)
+	if short.BaseRTT() != 20*sim.Millisecond {
+		t.Fatalf("bn-only BaseRTT %v, want 20ms", short.BaseRTT())
+	}
+	_ = access
+}
+
+// TestTopologyForwardingAllocFree: once pools are warm, pushing a packet
+// across a two-hop path allocates nothing — the gate behind
+// BenchmarkTopologyThroughput.
+func TestTopologyForwardingAllocFree(t *testing.T) {
+	sch := sim.NewScheduler()
+	topo, _, _ := twoHop(sch)
+	att := topo.AttachAsym(1*sim.Millisecond, 1*sim.Millisecond)
+	att.Receive = func(p *Packet, now sim.Time) { topo.PutPacket(p) }
+	seq := uint64(0)
+	send := func() {
+		p := topo.GetPacket()
+		*p = Packet{Seq: seq, Size: 1500}
+		seq++
+		att.Send(p)
+		sch.Run()
+	}
+	for i := 0; i < 64; i++ {
+		send() // warm pools, grow queue rings
+	}
+	if allocs := testing.AllocsPerRun(100, send); allocs != 0 {
+		t.Fatalf("multi-hop forwarding allocates %.1f/op, want 0", allocs)
+	}
+}

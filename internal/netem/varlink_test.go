@@ -157,6 +157,127 @@ func TestVarLinkDeliveredMatchesIntegral(t *testing.T) {
 	}
 }
 
+// feed drives a link with a steady packet arrival process (one 1500 B
+// packet every gap), the way AQM controllers expect to be exercised —
+// PIE's drop probability updates lazily at enqueue time, so a
+// backlog-at-t-zero test would never run its control loop. Returns a
+// pointer to the bytes-sent counter (final value valid after the run).
+func feed(sch *sim.Scheduler, link *Link, gap sim.Time) *uint64 {
+	sent := new(uint64)
+	seq := uint64(0)
+	var tick func()
+	tick = func() {
+		link.Send(&Packet{Seq: seq, Size: 1500})
+		seq++
+		*sent += 1500
+		sch.After(gap, tick)
+	}
+	sch.At(0, tick)
+	return sent
+}
+
+// aqmConservation checks the invariant every discipline must keep across
+// rate transitions: byte conservation (sent = delivered + dropped +
+// queued + in flight) and utilization <= 1. drops must be the
+// discipline's total drop count (which includes enqueue refusals, so
+// Link.DroppedPackets is a subset of it, not an addend).
+func aqmConservation(t *testing.T, name string, link *Link, sent, drops uint64) {
+	t.Helper()
+	inFlight := uint64(0)
+	if link.txPkt != nil {
+		inFlight = uint64(link.txPkt.Size)
+	}
+	total := link.DeliveredBytes + drops*1500 + uint64(link.Q.BytesQueued()) + inFlight
+	if total != sent {
+		t.Fatalf("%s: conservation broken: delivered %d + dropped %d + queued %d + in flight %d != sent %d",
+			name, link.DeliveredBytes, drops*1500, link.Q.BytesQueued(), inFlight, sent)
+	}
+	if u := link.Utilization(); u > 1.0+1e-9 {
+		t.Fatalf("%s: utilization %v > 1", name, u)
+	}
+}
+
+// TestVarLinkPIEAcrossTransitions: PIE estimates queueing delay from a
+// fixed nominal drain rate, so on a square wave whose low phase quarters
+// the capacity the real delay exceeds the estimate — the controller must
+// still engage (its drop probability held above zero by the standing
+// queue), keep the queue off the byte cap, and conserve bytes exactly
+// across every transition.
+func TestVarLinkPIEAcrossTransitions(t *testing.T) {
+	nominal := 24e6
+	capBytes := BufferBytesForDelay(nominal, 200*sim.Millisecond)
+	rng := sim.NewRand(7)
+	q := NewPIE(capBytes, nominal, 20*sim.Millisecond, rng)
+	sch := sim.NewScheduler()
+	link := NewLinkSchedule(sch, SquareWave(6e6, 24e6, 40*sim.Millisecond), q)
+	// Offered load: 24 Mbit/s against a 15 Mbit/s mean capacity.
+	sent := feed(sch, link, 500*sim.Microsecond)
+	sch.RunUntil(2 * sim.Second)
+	aqmConservation(t, "pie/square", link, *sent, q.Drops)
+	if q.Drops == 0 {
+		t.Fatal("pie never dropped under sustained overload across rate steps")
+	}
+	if q.DropProb() == 0 {
+		t.Fatal("pie drop probability is zero under sustained overload")
+	}
+	// The controller keeps occupancy near target*nominal (60 KB), far
+	// below the 600 KB byte cap; a pinned queue means it disengaged.
+	if q.BytesQueued() > capBytes/2 {
+		t.Fatalf("pie queue pinned near the byte cap: %d of %d", q.BytesQueued(), capBytes)
+	}
+}
+
+// TestVarLinkPIEOutage: PIE on a link with an outage (rate 0) must not
+// divide by zero, must absorb the stall, and must resume draining after
+// recovery.
+func TestVarLinkPIEOutage(t *testing.T) {
+	nominal := 12e6
+	rng := sim.NewRand(9)
+	q := NewPIE(BufferBytesForDelay(nominal, 500*sim.Millisecond), nominal, 20*sim.Millisecond, rng)
+	sch := sim.NewScheduler()
+	link := NewLinkSchedule(sch, OutageAt(nominal, 100*sim.Millisecond, 200*sim.Millisecond), q)
+	sent := feed(sch, link, 1*sim.Millisecond) // offered exactly at nominal
+	sch.RunUntil(1 * sim.Second)
+	aqmConservation(t, "pie/outage", link, *sent, q.Drops)
+	// 800 ms of service at 12 Mbit/s is 1.2 MB; require most of it.
+	wantMin := uint64(0.7 * 0.8 * nominal / 8)
+	if link.DeliveredBytes < wantMin {
+		t.Fatalf("delivered %d bytes across outage, want >= %d", link.DeliveredBytes, wantMin)
+	}
+}
+
+// TestVarLinkCoDelAcrossTransitions: CoDel acts on measured sojourn time,
+// so unlike PIE it needs no drain-rate estimate — across capacity steps
+// it must engage and keep the standing queue's sojourn bounded near its
+// target once in the dropping state.
+func TestVarLinkCoDelAcrossTransitions(t *testing.T) {
+	q := NewCoDel(1 << 22)
+	s := SquareWave(6e6, 24e6, 40*sim.Millisecond)
+	sch := sim.NewScheduler()
+	link := NewLinkSchedule(sch, s, q)
+	// Keep the queue fed (but finite) over the horizon.
+	sent := backlog(link, 4000)
+	sch.RunUntil(2 * sim.Second)
+	if q.Drops == 0 {
+		t.Fatal("codel never entered dropping state under overload across rate steps")
+	}
+	inFlight := uint64(0)
+	if link.txPkt != nil {
+		inFlight = uint64(link.txPkt.Size)
+	}
+	total := link.DeliveredBytes + q.Drops*1500 + uint64(q.BytesQueued()) + inFlight
+	if total != sent {
+		t.Fatalf("codel conservation broken: %d != %d", total, sent)
+	}
+	// CoDel's control law drains the standing queue toward Target
+	// sojourn; with drops accounted, the queue must sit far below an
+	// uncontrolled tail-drop queue (which would hold nearly all 4000
+	// packets).
+	if q.Len() > 2000 {
+		t.Fatalf("codel standing queue %d packets; control law not engaging", q.Len())
+	}
+}
+
 // TestConstantLinkFastPathUnchanged: a constant-rate link must not pay
 // the varying-path costs (cancellable timers) and must behave as before.
 func TestConstantLinkFastPathUnchanged(t *testing.T) {

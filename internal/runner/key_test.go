@@ -56,13 +56,16 @@ func TestKeyCoversEveryField(t *testing.T) {
 }
 
 // TestKeyDistinguishesNewAxes pins the concrete encodings of the
-// time-varying axes (a regression guard beyond the reflection sweep).
+// time-varying and topology axes (a regression guard beyond the
+// reflection sweep).
 func TestKeyDistinguishesNewAxes(t *testing.T) {
 	a := Scenario{RateMbps: 48, LinkTrace: "cell-ramp"}
 	b := Scenario{RateMbps: 48, LinkTrace: "outage"}
 	c := Scenario{RateMbps: 48, RatePattern: "step:6:24:2000"}
+	d := Scenario{RateMbps: 48, Topology: "parking-lot"}
+	e := Scenario{RateMbps: 48, Topology: "access(x4,5ms)->bn"}
 	keys := map[string]string{}
-	for _, sc := range []Scenario{a, b, c, {RateMbps: 48}} {
+	for _, sc := range []Scenario{a, b, c, d, e, {RateMbps: 48}} {
 		k := sc.Key()
 		if prev, dup := keys[k]; dup {
 			t.Fatalf("key collision between %q and %q: %s", prev, fmt.Sprintf("%+v", sc), k)

@@ -41,6 +41,15 @@ type Scenario struct {
 	LinkTrace   string `json:"link_trace,omitempty"`
 	RatePattern string `json:"rate_pattern,omitempty"`
 
+	// Topology selects the path topology: "" is the paper's single
+	// bottleneck; otherwise a preset name ("access-hop", "parking-lot",
+	// "rev-congested") or a chain spec like "access(x4,5ms)->bn"
+	// (netem.ParseTopology). Store the canonical form
+	// (netem.CanonicalTopology, as the CLIs do — it maps the single
+	// topology to ""): the string enters Key() verbatim, so equivalent
+	// spellings would otherwise derive different seeds.
+	Topology string `json:"topology,omitempty"`
+
 	// Scheme under test: a typed scheme spec ("nimbus", "copa(delta=0.1)",
 	// "nimbus(pulse=0.1,mu=est)"; see the internal/scheme registry).
 	// Ignored when FlowMix is set.
@@ -96,6 +105,9 @@ func (s Scenario) Key() string {
 	if s.FlowMix != "" {
 		key += "/flows=" + s.FlowMix
 	}
+	if s.Topology != "" {
+		key += "/topo=" + s.Topology
+	}
 	return key
 }
 
@@ -115,6 +127,12 @@ func (s Scenario) label(varying []string) string {
 			parts = append(parts, "trace="+s.LinkTrace)
 		case "pattern":
 			parts = append(parts, "pattern="+s.RatePattern)
+		case "topo":
+			topo := s.Topology
+			if topo == "" {
+				topo = "single"
+			}
+			parts = append(parts, "topo="+topo)
 		case "aqm":
 			parts = append(parts, "aqm="+s.AQM)
 		case "scheme":
@@ -150,6 +168,7 @@ type Grid struct {
 	RatesMbps    []float64     `json:"rates_mbps,omitempty"`
 	LinkTraces   []string      `json:"link_traces,omitempty"`
 	RatePatterns []string      `json:"rate_patterns,omitempty"`
+	Topologies   []string      `json:"topologies,omitempty"`
 	RTTsMs       []float64     `json:"rtts_ms,omitempty"`
 	BuffersMs    []float64     `json:"buffers_ms,omitempty"`
 	AQMs         []string      `json:"aqms,omitempty"`
@@ -160,8 +179,8 @@ type Grid struct {
 }
 
 // Expand returns the scenarios of the grid in a stable order (outermost
-// axis first: scheme, flow mix, cross, rate, trace, pattern, rtt,
-// buffer, aqm, seed). Every scenario gets a per-run seed derived from its own
+// axis first: scheme, flow mix, cross, rate, trace, pattern, topology,
+// rtt, buffer, aqm, seed). Every scenario gets a per-run seed derived from its own
 // parameters via sim.DeriveSeed, so results do not depend on expansion
 // order or worker count, and a Name naming the varying axes.
 func (g Grid) Expand() []Scenario {
@@ -176,6 +195,10 @@ func (g Grid) Expand() []Scenario {
 	patterns := g.RatePatterns
 	if len(patterns) == 0 {
 		patterns = []string{g.Base.RatePattern}
+	}
+	topos := g.Topologies
+	if len(topos) == 0 {
+		topos = []string{g.Base.Topology}
 	}
 	rtts := g.RTTsMs
 	if len(rtts) == 0 {
@@ -220,7 +243,7 @@ func (g Grid) Expand() []Scenario {
 		n    int
 	}{
 		{"scheme", len(schemes)}, {"flows", len(mixes)}, {"cross", len(crosses)}, {"rate", len(rates)},
-		{"trace", len(traces)}, {"pattern", len(patterns)},
+		{"trace", len(traces)}, {"pattern", len(patterns)}, {"topo", len(topos)},
 		{"rtt", len(rtts)}, {"buf", len(bufs)}, {"aqm", len(aqms)}, {"seed", len(seeds)},
 	} {
 		if v.n > 1 {
@@ -228,34 +251,37 @@ func (g Grid) Expand() []Scenario {
 		}
 	}
 
-	out := make([]Scenario, 0, len(schemes)*len(mixes)*len(crosses)*len(rates)*len(traces)*len(patterns)*len(rtts)*len(bufs)*len(aqms)*len(seeds))
+	out := make([]Scenario, 0, len(schemes)*len(mixes)*len(crosses)*len(rates)*len(traces)*len(patterns)*len(topos)*len(rtts)*len(bufs)*len(aqms)*len(seeds))
 	for _, sp := range schemes {
 		for _, mix := range mixes {
 			for _, cross := range crosses {
 				for _, rate := range rates {
 					for _, trace := range traces {
 						for _, pattern := range patterns {
-							for _, rtt := range rtts {
-								for _, buf := range bufs {
-									for _, aqm := range aqms {
-										for _, seed := range seeds {
-											sc := g.Base
-											sc.Scheme = sp
-											sc.FlowMix = mix
-											sc.Cross = cross.Kind
-											sc.CrossRateMbps = cross.RateMbps
-											sc.RateMbps = rate
-											sc.LinkTrace = trace
-											sc.RatePattern = pattern
-											sc.RTTms = rtt
-											sc.BufferMs = buf
-											sc.AQM = aqm
-											sc.Seed = seed
-											sc.RunSeed = sim.DeriveSeed(seed, sc.Key())
-											if sc.Name == "" || sc.Name == g.Base.Name {
-												sc.Name = sc.label(varying)
+							for _, topo := range topos {
+								for _, rtt := range rtts {
+									for _, buf := range bufs {
+										for _, aqm := range aqms {
+											for _, seed := range seeds {
+												sc := g.Base
+												sc.Scheme = sp
+												sc.FlowMix = mix
+												sc.Cross = cross.Kind
+												sc.CrossRateMbps = cross.RateMbps
+												sc.RateMbps = rate
+												sc.LinkTrace = trace
+												sc.RatePattern = pattern
+												sc.Topology = topo
+												sc.RTTms = rtt
+												sc.BufferMs = buf
+												sc.AQM = aqm
+												sc.Seed = seed
+												sc.RunSeed = sim.DeriveSeed(seed, sc.Key())
+												if sc.Name == "" || sc.Name == g.Base.Name {
+													sc.Name = sc.label(varying)
+												}
+												out = append(out, sc)
 											}
-											out = append(out, sc)
 										}
 									}
 								}

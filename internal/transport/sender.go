@@ -63,16 +63,17 @@ type Sender struct {
 	stopped bool
 
 	// Reusable callbacks and free lists for the per-packet hot path.
-	// Packets are recycled at delivery (the receiver is the last holder:
-	// netem never retains a packet past Deliver, and the ACK state rides
-	// on a pooled ackRec), so emit is allocation-free in steady state;
-	// dropped packets are simply left to the garbage collector.
+	// Packets come from the topology's shared pool and are recycled at
+	// delivery (the receiver is the last holder: netem never retains a
+	// packet past Deliver, and the ACK state rides on a pooled ackRec), so
+	// emit is allocation-free in steady state; dropped packets are simply
+	// left to the garbage collector. The shared pool also lets the
+	// topology recycle in-flight packets of flows detached mid-stream.
 	trySendFn func()
 	onRTOFn   func()
 	onAckFn   func(arg any)
 	ackFree   []*ackRec
 	recFree   []*pktRec
-	pktFree   []*netem.Packet
 
 	// Counters and hooks.
 	SentBytes      uint64
@@ -87,9 +88,16 @@ type Sender struct {
 }
 
 // NewSender attaches a flow with the given controller and source to the
-// network with base RTT rtt. The flow does not transmit until Start.
+// network's default route with base RTT rtt. The flow does not transmit
+// until Start.
 func NewSender(net *netem.Network, rtt sim.Time, cc Controller, app Source, rng *sim.Rand) *Sender {
-	att := net.Attach(rtt)
+	return NewSenderOn(net, "", rtt, cc, app, rng)
+}
+
+// NewSenderOn is NewSender on a named route of the topology ("" is the
+// default route). Unknown routes panic, mirroring netem.AttachOn.
+func NewSenderOn(net *netem.Network, route string, rtt sim.Time, cc Controller, app Source, rng *sim.Rand) *Sender {
+	att := net.AttachOn(route, rtt)
 	s := &Sender{
 		att: att,
 		cc:  cc,
@@ -193,14 +201,8 @@ func (s *Sender) trySend() {
 
 func (s *Sender) emit(size int) {
 	now := s.env.Sch.Now()
-	var p *netem.Packet
-	if n := len(s.pktFree); n > 0 {
-		p = s.pktFree[n-1]
-		s.pktFree = s.pktFree[:n-1]
-		*p = netem.Packet{Seq: s.nextSeq, Size: size}
-	} else {
-		p = &netem.Packet{Seq: s.nextSeq, Size: size}
-	}
+	p := s.att.GetPacket()
+	*p = netem.Packet{Seq: s.nextSeq, Size: size}
 	s.nextSeq++
 	var r *pktRec
 	if n := len(s.recFree); n > 0 {
@@ -295,7 +297,7 @@ func (s *Sender) onDeliver(p *netem.Packet, now sim.Time) {
 	s.att.SendAckArg(s.onAckFn, rec)
 	// The packet is dead past this point: the link handed it over, the ACK
 	// state was copied onto rec, and the hooks above do not retain it.
-	s.pktFree = append(s.pktFree, p)
+	s.att.PutPacket(p)
 }
 
 // onAckEvent runs at the sender when an ACK arrives on the reverse path.

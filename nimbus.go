@@ -101,11 +101,22 @@ type (
 	Time = sim.Time
 	// Scheduler is the discrete-event loop.
 	Scheduler = sim.Scheduler
-	// Network is the single-bottleneck topology (Fig. 2).
+	// Network is the emulated network: the paper's single bottleneck
+	// (Fig. 2) by default, or any multi-hop Topology.
 	Network = netem.Network
-	// Link is the rate-limited bottleneck.
+	// Topology is a network of named nodes, directed links, and per-flow
+	// routes; Network is its alias.
+	Topology = netem.Topology
+	// TopologySpec is a parsed topology description (presets like
+	// "parking-lot", or chain specs like "access(x4,5ms)->bn").
+	TopologySpec = netem.TopoSpec
+	// Route is a flow path: ordered hops for the data and ACK directions.
+	Route = netem.Route
+	// Hop is one wire-delay + link step of a route.
+	Hop = netem.Hop
+	// Link is a rate-limited hop (the bottleneck in the trivial topology).
 	Link = netem.Link
-	// Packet is a data packet at the bottleneck.
+	// Packet is a data packet traversing the topology.
 	Packet = netem.Packet
 	// Sender is the transport endpoint controllers plug into.
 	Sender = transport.Sender
@@ -172,6 +183,20 @@ func RegisterScheme(name, doc string, params []SchemeParam, factory scheme.Facto
 // ParseFlowMix parses the "nimbus*2+cubic@10" flow-mix syntax into
 // FlowSpecs for Rig.AddFlowSpecs (see exp.ParseFlowMix).
 func ParseFlowMix(mix string) ([]FlowSpec, error) { return exp.ParseFlowMix(mix) }
+
+// ParseTopology resolves a topology spec string: "" or "single" (the
+// paper's one-hop topology), a registered preset name, or a chain spec
+// like "access(100mbps,5ms)->bn(48mbps,droptail)".
+func ParseTopology(s string) (TopologySpec, error) { return netem.ParseTopology(s) }
+
+// RegisterTopology adds a preset topology to the registry, making it
+// available to spec strings, scenarios, and sweeps everywhere.
+func RegisterTopology(name, doc string, spec TopologySpec) {
+	netem.RegisterTopology(name, doc, spec)
+}
+
+// TopologyNames lists the registered topology presets.
+func TopologyNames() []string { return netem.TopologyNames() }
 
 // RunExperiment regenerates one of the paper's tables or figures by id
 // ("fig01".."fig26", "table1", "tableE") and returns the textual report.

@@ -1,33 +1,46 @@
 #!/usr/bin/env bash
 # check_bench.sh BENCH_OUTPUT BASELINE_FILE
 #
-# Gates CI on the simulator hot path: reads allocs/op for
-# BenchmarkSimulatorThroughput from `go test -bench` output and fails if
-# it regressed more than 20% against the checked-in baseline.
+# Gates CI on the simulator hot paths: reads allocs/op for each gated
+# benchmark from `go test -bench` output and fails if it regressed more
+# than 20% against the checked-in baseline. A zero baseline is a hard
+# gate: the benchmark must stay allocation-free.
 set -euo pipefail
 
 bench_out=$1
 baseline_file=$2
 
-current=$(awk '$1 ~ /^BenchmarkSimulatorThroughput/ {
-    for (i = 1; i <= NF; i++) if ($i == "allocs/op") print $(i-1)
-}' "$bench_out")
-if [ -z "$current" ]; then
-    echo "check_bench: no BenchmarkSimulatorThroughput allocs/op in $bench_out" >&2
-    exit 1
-fi
+# benchmark-name baseline-key pairs, one gate per line.
+gates="
+BenchmarkSimulatorThroughput allocs_per_op
+BenchmarkTopologyThroughput topo_allocs_per_op
+"
 
-baseline=$(awk -F= '/^allocs_per_op=/ { print $2 }' "$baseline_file")
-if [ -z "$baseline" ]; then
-    echo "check_bench: no allocs_per_op= line in $baseline_file" >&2
-    exit 1
-fi
+fail=0
+while read -r bench key; do
+    [ -z "$bench" ] && continue
+    current=$(awk -v b="$bench" '$1 ~ "^"b {
+        for (i = 1; i <= NF; i++) if ($i == "allocs/op") print $(i-1)
+    }' "$bench_out")
+    if [ -z "$current" ]; then
+        echo "check_bench: no $bench allocs/op in $bench_out" >&2
+        fail=1
+        continue
+    fi
+    baseline=$(awk -F= -v k="^$key=" '$0 ~ k { print $2 }' "$baseline_file")
+    if [ -z "$baseline" ]; then
+        echo "check_bench: no $key= line in $baseline_file" >&2
+        fail=1
+        continue
+    fi
+    limit=$(( baseline + baseline / 5 ))
+    echo "$bench allocs/op: current=$current baseline=$baseline limit(+20%)=$limit"
+    if [ "$current" -gt "$limit" ]; then
+        echo "check_bench: FAIL — $bench allocs/op regressed beyond 20% of baseline" >&2
+        echo "If the increase is intentional, update $baseline_file in the same PR." >&2
+        fail=1
+    fi
+done <<< "$gates"
 
-limit=$(( baseline + baseline / 5 ))
-echo "allocs/op: current=$current baseline=$baseline limit(+20%)=$limit"
-if [ "$current" -gt "$limit" ]; then
-    echo "check_bench: FAIL — allocs/op regressed beyond 20% of baseline" >&2
-    echo "If the increase is intentional, update $baseline_file in the same PR." >&2
-    exit 1
-fi
-echo "check_bench: OK"
+[ "$fail" -eq 0 ] && echo "check_bench: OK"
+exit "$fail"
