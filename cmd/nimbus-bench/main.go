@@ -52,6 +52,7 @@ func realMain() int {
 		listTopologies  = flag.Bool("list-topologies", false, "list registered topology presets and exit")
 		run             = flag.String("run", "", "experiment id to run (or \"all\")")
 		topo            = flag.String("topology", "", "topology(ies) for the -benchmark sweep: preset names or chain specs, comma-separated (default: the single bottleneck)")
+		burst           = flag.Int("burst", 0, "burst link forwarding budget for the -benchmark sweep (0/1 = off; burst cells get their own scenario keys)")
 		seed            = flag.Int64("seed", 1, "simulation seed")
 		full            = flag.Bool("full", false, "run at the paper's full horizons (slower)")
 		workers         = flag.Int("workers", 0, "worker pool size for experiment grids (0 = all cores, 1 = sequential)")
@@ -93,7 +94,7 @@ func realMain() int {
 	switch {
 	case exp.HandleListFlags(*listSchemes, *listTraces, *listTopologies, *list || *listExperiments):
 	case *bench:
-		return runBenchmark(*seed, *workers, *benchOut, *topo)
+		return runBenchmark(*seed, *workers, *benchOut, *topo, *burst)
 	case *run == "":
 		flag.Usage()
 		return 2
@@ -120,10 +121,11 @@ func realMain() int {
 // parts of the stack, at two link rates. It exists so BENCH_runner.json
 // is comparable across commits. -topology adds a topology axis (the
 // default keeps the historical single-bottleneck grid).
-func benchGrid(seed int64, topos []string) runner.Grid {
+func benchGrid(seed int64, topos []string, burst int) runner.Grid {
 	return runner.Grid{
 		Base: runner.Scenario{
 			RTTms: 50, BufferMs: 100, DurationSec: 30, Seed: seed,
+			LinkBurst: burst,
 		},
 		RatesMbps:  []float64{96, 192},
 		Schemes:    scheme.Specs("nimbus", "cubic", "bbr", "copa"),
@@ -136,7 +138,7 @@ func benchGrid(seed int64, topos []string) runner.Grid {
 	}
 }
 
-func runBenchmark(seed int64, workers int, out, topo string) int {
+func runBenchmark(seed int64, workers int, out, topo string, burst int) int {
 	var topos []string
 	for _, it := range scheme.SplitList(topo) {
 		c, err := netem.CanonicalTopology(it)
@@ -146,7 +148,11 @@ func runBenchmark(seed int64, workers int, out, topo string) int {
 		}
 		topos = append(topos, c)
 	}
-	scs := benchGrid(seed, topos).Expand()
+	if burst < 0 || burst > netem.MaxBurst {
+		fmt.Fprintf(os.Stderr, "-burst: budget %d out of range 0..%d\n", burst, netem.MaxBurst)
+		return 2
+	}
+	scs := benchGrid(seed, topos, burst).Expand()
 	fmt.Fprintf(os.Stderr, "benchmark: %d scenarios on %d workers\n", len(scs), effectiveWorkers(workers))
 	start := time.Now()
 	rn := &runner.Runner{Workers: workers, OnProgress: runner.Progress(os.Stderr)}

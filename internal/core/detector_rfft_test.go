@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// rfftDetector is warmDetector with the packed real-input path enabled.
+func rfftDetector() *Detector {
+	cfg := DefaultDetectorConfig()
+	cfg.RFFT = true
+	det := NewDetector(cfg)
+	for i := 0; i < det.WindowSamples(); i++ {
+		det.AddSample(48e6 + 6e6*math.Sin(2*math.Pi*5*float64(i)*0.01))
+	}
+	det.AddSample(48e6)
+	if det.Elasticity(5) <= 0 {
+		panic("rfftDetector: no elasticity signal")
+	}
+	return det
+}
+
+// The packed path must agree with the default path on the quantities the
+// controller consumes — η at the pulse frequency and the window mean —
+// to well within any decision margin, fed the identical sample stream.
+func TestDetectorRFFTMatchesDefaultPath(t *testing.T) {
+	cfg := DefaultDetectorConfig()
+	rcfg := cfg
+	rcfg.RFFT = true
+	a, b := NewDetector(cfg), NewDetector(rcfg)
+	if a.WindowSamples() != b.WindowSamples() {
+		t.Fatalf("window mismatch: %d vs %d", a.WindowSamples(), b.WindowSamples())
+	}
+	push := func(v float64) {
+		a.AddSample(v)
+		b.AddSample(v)
+	}
+	for i := 0; i < a.WindowSamples()+50; i++ {
+		push(48e6 + 6e6*math.Sin(2*math.Pi*5*float64(i)*0.01) + 1e6*math.Sin(2*math.Pi*11*float64(i)*0.01))
+	}
+	etaA, etaB := a.Elasticity(5), b.Elasticity(5)
+	if d := math.Abs(etaA - etaB); d > 1e-6*etaA {
+		t.Fatalf("eta diverged: default %v rfft %v", etaA, etaB)
+	}
+	if a.Elastic(5) != b.Elastic(5) {
+		t.Fatalf("elastic decision diverged: default %v rfft %v", a.Elastic(5), b.Elastic(5))
+	}
+	// Window mean comes from the same in-order summation on both paths.
+	if a.Mean() != b.Mean() {
+		t.Fatalf("mean diverged: default %v rfft %v", a.Mean(), b.Mean())
+	}
+	sa, sb := a.Spectrum(), b.Spectrum()
+	if len(sa.Mag) != len(sb.Mag) || sa.Resolution != sb.Resolution || sa.N != sb.N {
+		t.Fatalf("spectrum shape diverged: (%d,%v,%d) vs (%d,%v,%d)",
+			len(sa.Mag), sa.Resolution, sa.N, len(sb.Mag), sb.Resolution, sb.N)
+	}
+	peak := 0.0
+	for _, m := range sa.Mag {
+		if m > peak {
+			peak = m
+		}
+	}
+	for k := range sa.Mag {
+		if d := math.Abs(sa.Mag[k] - sb.Mag[k]); d > 1e-9*peak {
+			t.Fatalf("bin %d diverged beyond tolerance: default %v rfft %v", k, sa.Mag[k], sb.Mag[k])
+		}
+	}
+}
+
+// The per-tick work stays allocation-free on the packed path too.
+func TestDetectorRFFTTickAllocFree(t *testing.T) {
+	det := rfftDetector()
+	allocs := testing.AllocsPerRun(200, func() {
+		det.AddSample(48e6)
+		if det.Elasticity(5) <= 0 {
+			t.Fatal("eta <= 0")
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("rfft detector tick allocates %.2f/op in steady state, want 0", allocs)
+	}
+}
+
+// BenchmarkDetectorTickRFFT is BenchmarkDetectorTick with the packed
+// real-input FFT; the ns/op gap is the detector-level rFFT win.
+func BenchmarkDetectorTickRFFT(b *testing.B) {
+	det := rfftDetector()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		det.AddSample(48e6)
+		if det.Elasticity(5) <= 0 {
+			b.Fatal("eta <= 0")
+		}
+	}
+}

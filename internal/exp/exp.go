@@ -40,6 +40,12 @@ type NetConfig struct {
 	// rates/buffers inherit RateMbps/Buffer; the bottleneck link inherits
 	// AQM and Schedule.
 	Topology string
+	// LinkBurst, when > 1, enables burst forwarding (Link.SetBurst) with
+	// that per-event packet budget on every link that does not set its
+	// own burst= in the topology spec. Only constant-rate drop-tail
+	// links burst; see Link.SetBurst for the (documented) event-timing
+	// difference versus per-packet forwarding.
+	LinkBurst int
 }
 
 // Rig is an instantiated network for one experiment run. Link is the
@@ -129,6 +135,11 @@ func NewRig(cfg NetConfig) *Rig {
 		}
 		link := netem.NewLinkSchedule(sch, sched, q)
 		link.Name = ls.Name
+		if ls.Burst > 0 {
+			link.SetBurst(ls.Burst)
+		} else if cfg.LinkBurst > 0 {
+			link.SetBurst(cfg.LinkBurst)
+		}
 		net.AddLink(link)
 		byName[ls.Name] = link
 	}

@@ -34,6 +34,7 @@ func NetConfigFor(sc runner.Scenario) NetConfig {
 		PIETarget: sim.FromSeconds(sc.PIETargetMs / 1e3),
 		Seed:      sc.EffectiveSeed(),
 		Topology:  sc.Topology,
+		LinkBurst: sc.LinkBurst,
 	}
 }
 
@@ -124,24 +125,9 @@ func RunScenario(sc runner.Scenario) runner.Result {
 	}
 	r.Sch.RunUntil(end)
 
-	dMean, dQs := probe.Delay.MeanQuantiles(0.5, 0.95)
-	m := map[string]float64{
-		"mean_mbps":       probe.MeanMbps(0, end),
-		"qdelay_mean_ms":  dMean,
-		"qdelay_p50_ms":   dQs[0],
-		"qdelay_p95_ms":   dQs[1],
-		"utilization":     r.Link.Utilization(),
-		"dropped_packets": float64(r.Link.DroppedPackets),
-	}
-	hopMetrics(m, r)
-	// A run that delivers nothing (reachable on dark/outage schedules) has
-	// no delay samples and NaN summaries; drop non-finite values so one
-	// such cell cannot abort JSON emission for the whole sweep.
-	for k, v := range m {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			delete(m, k)
-		}
-	}
+	m := linkMetrics(r, probe.MeanMbps(0, end))
+	addQdelayMetrics(m, probe.Delay)
+	dropNonFinite(m)
 	if scheme.Nimbus != nil {
 		m["mode_switches"] = float64(scheme.Nimbus.ModeSwitches)
 		m["eta"] = scheme.Nimbus.LastEta()
@@ -206,29 +192,50 @@ func RunFlowMixScenario(sc runner.Scenario) runner.Result {
 	r.Sch.RunUntil(end)
 
 	st := FlowStats(flows, end)
-	m := map[string]float64{
-		"mean_mbps":       st.AggMbps,
-		"jain":            st.Jain,
-		"jsd_uniform":     st.JSDUniform,
-		"utilization":     r.Link.Utilization(),
-		"dropped_packets": float64(r.Link.DroppedPackets),
-	}
+	m := linkMetrics(r, st.AggMbps)
+	m["jain"] = st.Jain
+	m["jsd_uniform"] = st.JSDUniform
 	for i := range flows {
 		m[fmt.Sprintf("flow%02d_mbps", i)] = st.PerFlowMbps[i]
 	}
-	hopMetrics(m, r)
 	if len(sharedDelay.Samples()) > 0 {
-		dMean, dQs := sharedDelay.MeanQuantiles(0.5, 0.95)
-		m["qdelay_mean_ms"] = dMean
-		m["qdelay_p50_ms"] = dQs[0]
-		m["qdelay_p95_ms"] = dQs[1]
+		addQdelayMetrics(m, sharedDelay)
 	}
+	dropNonFinite(m)
+	return runner.Result{Scenario: sc, Metrics: m, Events: r.Sch.Executed}
+}
+
+// linkMetrics starts the metric map every scenario runner shares:
+// aggregate throughput, the bottleneck's utilization and drops, and the
+// per-hop decomposition on multi-hop topologies.
+func linkMetrics(r *Rig, meanMbps float64) map[string]float64 {
+	m := map[string]float64{
+		"mean_mbps":       meanMbps,
+		"utilization":     r.Link.Utilization(),
+		"dropped_packets": float64(r.Link.DroppedPackets),
+	}
+	hopMetrics(m, r)
+	return m
+}
+
+// addQdelayMetrics records a delay recorder's mean/p50/p95 summary.
+func addQdelayMetrics(m map[string]float64, d *metrics.DelayRecorder) {
+	dMean, dQs := d.MeanQuantiles(0.5, 0.95)
+	m["qdelay_mean_ms"] = dMean
+	m["qdelay_p50_ms"] = dQs[0]
+	m["qdelay_p95_ms"] = dQs[1]
+}
+
+// dropNonFinite removes non-finite metrics: a run that delivers nothing
+// (reachable on dark/outage schedules) has no delay samples and NaN
+// summaries, and one such cell must not abort JSON emission for the
+// whole sweep.
+func dropNonFinite(m map[string]float64) {
 	for k, v := range m {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			delete(m, k)
 		}
 	}
-	return runner.Result{Scenario: sc, Metrics: m, Events: r.Sch.Executed}
 }
 
 // hopMetrics decomposes the path into per-hop measurements on multi-hop

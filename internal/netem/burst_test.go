@@ -1,0 +1,304 @@
+package netem
+
+import (
+	"testing"
+
+	"nimbus/internal/sim"
+)
+
+// delivery is one observed packet completion: who, when, and how long it
+// queued. The burst equivalence tests compare full delivery sequences, so
+// any divergence in ordering, timing, or delay accounting fails loudly.
+type delivery struct {
+	seq uint64
+	at  sim.Time
+	qd  sim.Time
+}
+
+// burstRun holds everything a scenario run produces that bursting must
+// not change.
+type burstRun struct {
+	dels     []delivery
+	drops    []uint64
+	executed uint64
+
+	delivered uint64
+	bytes     uint64
+	dropped   uint64
+	meanQD    sim.Time
+	util      float64
+	queued    int
+}
+
+// runBurstScenario drives a deterministic arrival pattern through a
+// 12 Mbit/s link (1500 B = 1 ms serialization) with a 6000 B drop-tail
+// buffer: an opening flood that overflows the buffer, a sustained phase
+// whose 0.73 ms inter-arrivals interleave with the 1 ms service times
+// without ever landing exactly on a completion instant (at an exact tie
+// the two paths legitimately differ — see SetBurst), a second flood
+// after an idle gap, and a tail of short 500 B packets that vary the
+// per-packet serialization time.
+func runBurstScenario(t *testing.T, budget int, mkQueue func() Queue) burstRun {
+	t.Helper()
+	sch := sim.NewScheduler()
+	l := NewLink(sch, 12e6, mkQueue())
+	if budget > 0 {
+		l.SetBurst(budget)
+	}
+	var r burstRun
+	l.Deliver = func(p *Packet, now sim.Time) {
+		r.dels = append(r.dels, delivery{p.Seq, now, p.QueueDelay})
+	}
+	l.OnDrop = func(p *Packet, now sim.Time) {
+		r.drops = append(r.drops, p.Seq)
+	}
+	seq := uint64(0)
+	send := func(at sim.Time, n, size int) {
+		for i := 0; i < n; i++ {
+			p := &Packet{Seq: seq, Size: size}
+			seq++
+			sch.At(at, func() { l.Send(p) })
+		}
+	}
+	send(0, 8, 1500) // floods the 4-packet buffer: tail drops up front
+	for i := 0; i < 30; i++ {
+		send(sim.Time(i)*730*sim.Microsecond, 1, 1500)
+	}
+	send(40*sim.Millisecond, 10, 1500) // second flood after the queue drains
+	for i := 0; i < 12; i++ {
+		send(55*sim.Millisecond+sim.Time(i)*300*sim.Microsecond, 1, 500)
+	}
+	end := 100 * sim.Millisecond
+	sch.RunUntil(end)
+
+	r.executed = sch.Executed
+	r.delivered = l.DeliveredPackets
+	r.bytes = l.DeliveredBytes
+	r.dropped = l.DroppedPackets
+	r.meanQD = l.MeanQueueDelay()
+	r.util = l.Utilization()
+	r.queued = l.Q.BytesQueued()
+	return r
+}
+
+// requireSameRun asserts that two runs are observably identical: same
+// delivery sequence (identity, completion time, queueing delay), same
+// drops, and same counters.
+func requireSameRun(t *testing.T, want, got burstRun) {
+	t.Helper()
+	if len(got.dels) != len(want.dels) {
+		t.Fatalf("delivered %d packets, want %d", len(got.dels), len(want.dels))
+	}
+	for i := range want.dels {
+		if got.dels[i] != want.dels[i] {
+			t.Fatalf("delivery %d = %+v, want %+v", i, got.dels[i], want.dels[i])
+		}
+	}
+	if len(got.drops) != len(want.drops) {
+		t.Fatalf("dropped %d packets, want %d", len(got.drops), len(want.drops))
+	}
+	for i := range want.drops {
+		if got.drops[i] != want.drops[i] {
+			t.Fatalf("drop %d = seq %d, want seq %d", i, got.drops[i], want.drops[i])
+		}
+	}
+	if got.delivered != want.delivered || got.bytes != want.bytes || got.dropped != want.dropped {
+		t.Fatalf("counters delivered=%d bytes=%d dropped=%d, want %d/%d/%d",
+			got.delivered, got.bytes, got.dropped, want.delivered, want.bytes, want.dropped)
+	}
+	if got.meanQD != want.meanQD {
+		t.Fatalf("MeanQueueDelay = %v, want %v", got.meanQD, want.meanQD)
+	}
+	if got.util != want.util {
+		t.Fatalf("Utilization = %v, want %v", got.util, want.util)
+	}
+	if got.queued != want.queued {
+		t.Fatalf("BytesQueued = %d, want %d", got.queued, want.queued)
+	}
+}
+
+// TestLinkBurstEquivalence is the core burst-forwarding guarantee: on a
+// constant-rate drop-tail link, every observable — per-packet completion
+// timestamps, queueing delays, drop decisions (including overflow drops
+// that land while a burst is in flight, checked against the phantom-byte
+// reservations), and all link counters — is identical with bursting on,
+// while the run executes strictly fewer scheduler events.
+func TestLinkBurstEquivalence(t *testing.T) {
+	dt := func() Queue { return NewDropTail(6000) }
+	base := runBurstScenario(t, 0, dt)
+	if len(base.drops) == 0 {
+		t.Fatal("scenario produced no drops; it no longer exercises admission under load")
+	}
+	for _, budget := range []int{2, 4, 16, MaxBurst, MaxBurst + 100} {
+		burst := runBurstScenario(t, budget, dt)
+		requireSameRun(t, base, burst)
+		if burst.executed >= base.executed {
+			t.Fatalf("budget %d executed %d events, per-packet path %d: bursting never engaged",
+				budget, burst.executed, base.executed)
+		}
+	}
+}
+
+// TestLinkBurstAQMDisabled pins that SetBurst on an AQM queue is a no-op:
+// CoDel and PIE drop from the wall clock (dequeue sojourn, per-enqueue
+// probability), so they do not implement BurstQueue and must keep the
+// per-packet path — the run is event-for-event identical, per-hop
+// queueing delay included.
+func TestLinkBurstAQMDisabled(t *testing.T) {
+	queues := map[string]func() Queue{
+		"codel": func() Queue { return NewCoDel(6000) },
+		"pie":   func() Queue { return NewPIE(6000, 12e6, 15*sim.Millisecond, sim.NewRand(7)) },
+	}
+	for name, mk := range queues {
+		t.Run(name, func(t *testing.T) {
+			base := runBurstScenario(t, 0, mk)
+			burst := runBurstScenario(t, 16, mk)
+			requireSameRun(t, base, burst)
+			if burst.executed != base.executed {
+				t.Fatalf("executed %d events with SetBurst, %d without: AQM path must not burst",
+					burst.executed, base.executed)
+			}
+		})
+	}
+	l := NewLink(sim.NewScheduler(), 12e6, NewCoDel(6000))
+	l.SetBurst(16)
+	if l.bq != nil {
+		t.Fatal("SetBurst bound a burst queue on CoDel")
+	}
+}
+
+// TestLinkBurstVaryingDisabled pins that SetBurst on a time-varying link
+// is a no-op: rate transitions and outages must be observed per packet,
+// so the run — including behavior across a step down and a dead interval
+// — is event-for-event identical to the per-packet path.
+func TestLinkBurstVaryingDisabled(t *testing.T) {
+	// 12 -> 3 Mbit/s at 10 ms, outage at 25..30 ms, back to 12 after.
+	sched, err := NewRateSchedule([]RatePoint{
+		{At: 0, Bps: 12e6},
+		{At: 10 * sim.Millisecond, Bps: 3e6},
+		{At: 25 * sim.Millisecond, Bps: 0},
+		{At: 30 * sim.Millisecond, Bps: 12e6},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(budget int) burstRun {
+		sch := sim.NewScheduler()
+		l := NewLinkSchedule(sch, sched, NewDropTail(1<<20))
+		if budget > 0 {
+			l.SetBurst(budget)
+			if l.bq != nil {
+				t.Fatal("SetBurst bound a burst queue on a varying link")
+			}
+		}
+		var r burstRun
+		l.Deliver = func(p *Packet, now sim.Time) {
+			r.dels = append(r.dels, delivery{p.Seq, now, p.QueueDelay})
+		}
+		for i := 0; i < 40; i++ {
+			p := &Packet{Seq: uint64(i), Size: 1500}
+			sch.At(sim.Time(i)*sim.Millisecond, func() { l.Send(p) })
+		}
+		sch.RunUntil(60 * sim.Millisecond)
+		r.executed = sch.Executed
+		r.delivered = l.DeliveredPackets
+		r.meanQD = l.MeanQueueDelay()
+		r.util = l.Utilization()
+		return r
+	}
+	base, burst := run(0), run(16)
+	requireSameRun(t, base, burst)
+	if burst.executed != base.executed {
+		t.Fatalf("executed %d events with SetBurst, %d without: varying path must not burst",
+			burst.executed, base.executed)
+	}
+}
+
+// TestDropTailDequeueAt exercises the phantom-byte reservation directly:
+// a burst-committed packet keeps counting against Capacity until its
+// virtual start time, so admission decisions between the commit and the
+// staged start match the per-packet path.
+func TestDropTailDequeueAt(t *testing.T) {
+	q := NewDropTail(3000)
+	q.Enqueue(&Packet{Seq: 0, Size: 1500}, 0)
+	q.Enqueue(&Packet{Seq: 1, Size: 1500}, 0)
+	p := q.DequeueAt(5 * sim.Millisecond)
+	if p == nil || p.Seq != 0 {
+		t.Fatalf("DequeueAt returned %+v, want seq 0", p)
+	}
+	if p.QueueDelay != 5*sim.Millisecond {
+		t.Fatalf("QueueDelay = %v, want the virtual start time", p.QueueDelay)
+	}
+	// Before the virtual start the committed bytes still occupy the buffer.
+	if q.BytesQueued() != 3000 {
+		t.Fatalf("BytesQueued = %d, want 3000 (reservation held)", q.BytesQueued())
+	}
+	if q.Enqueue(&Packet{Seq: 2, Size: 1500}, 2*sim.Millisecond) {
+		t.Fatal("enqueue succeeded against a held reservation")
+	}
+	// At the virtual start the reservation expires and the slot frees.
+	if !q.Enqueue(&Packet{Seq: 3, Size: 1500}, 5*sim.Millisecond) {
+		t.Fatal("enqueue failed after the reservation expired")
+	}
+	if q.BytesQueued() != 3000 {
+		t.Fatalf("BytesQueued = %d, want 3000 after expiry+enqueue", q.BytesQueued())
+	}
+	if q.DropCount() != 1 {
+		t.Fatalf("DropCount = %d, want 1", q.DropCount())
+	}
+}
+
+// TestLinkBurstAllocFree pins the point of the optimization: a saturated
+// burst-forwarding link in steady state schedules pooled events only and
+// allocates nothing per packet.
+func TestLinkBurstAllocFree(t *testing.T) {
+	sch := sim.NewScheduler()
+	l := NewLink(sch, 96e6, NewDropTail(1<<20))
+	l.SetBurst(16)
+	l.Deliver = func(p *Packet, now sim.Time) { l.Send(p) }
+	for i := 0; i < 32; i++ {
+		l.Send(&Packet{Seq: uint64(i), Size: 1500})
+	}
+	end := 50 * sim.Millisecond
+	sch.RunUntil(end) // warm: ring, staged slices, event pool all at size
+	allocs := testing.AllocsPerRun(50, func() {
+		end += 10 * sim.Millisecond
+		sch.RunUntil(end)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state burst forwarding allocates %v per run, want 0", allocs)
+	}
+}
+
+// benchLink measures the event-loop cost of a saturated constant-rate
+// link: 32 packets circulate (Deliver re-sends), and each benchmark op
+// advances the clock by 64 packet serialization times (1500 B at
+// 96 Mbit/s = 125 us each).
+func benchLink(b *testing.B, budget int) {
+	sch := sim.NewScheduler()
+	l := NewLink(sch, 96e6, NewDropTail(1<<20))
+	if budget > 0 {
+		l.SetBurst(budget)
+	}
+	l.Deliver = func(p *Packet, now sim.Time) { l.Send(p) }
+	for i := 0; i < 32; i++ {
+		l.Send(&Packet{Seq: uint64(i), Size: 1500})
+	}
+	end := 10 * sim.Millisecond
+	sch.RunUntil(end)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		end += 64 * 125 * sim.Microsecond
+		sch.RunUntil(end)
+	}
+	if l.DeliveredPackets == 0 {
+		b.Fatal("no packets delivered")
+	}
+}
+
+// BenchmarkLinkBurst is the burst fast path (budget 16); compare with
+// BenchmarkLinkPerPacket for the one-event-per-packet baseline. Both are
+// gated in scripts/check_bench.sh (zero allocs, wall-clock band).
+func BenchmarkLinkBurst(b *testing.B)     { benchLink(b, 16) }
+func BenchmarkLinkPerPacket(b *testing.B) { benchLink(b, 0) }

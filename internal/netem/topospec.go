@@ -35,6 +35,11 @@ type LinkSpec struct {
 	// scenario's LinkTrace/RatePattern, when set, override the
 	// bottleneck link's pattern.
 	Pattern string
+	// Burst, when > 1, enables burst forwarding on this link with that
+	// per-event packet budget (Link.SetBurst); it only takes effect on
+	// constant-rate drop-tail links. 0 defers to the scenario's
+	// link-burst setting.
+	Burst int
 }
 
 // ResolveRate returns the link's capacity in bits/s given the scenario's
@@ -152,6 +157,9 @@ func (ls LinkSpec) format() string {
 	}
 	if ls.Pattern != "" {
 		params = append(params, "pattern="+ls.Pattern)
+	}
+	if ls.Burst > 0 {
+		params = append(params, "burst="+strconv.Itoa(ls.Burst))
 	}
 	if len(params) == 0 {
 		return ls.Name
@@ -401,8 +409,14 @@ func parseLinkSpec(seg string) (LinkSpec, error) {
 				return LinkSpec{}, fmt.Errorf("link %q: %w", name, err)
 			}
 			ls.Pattern = pat
+		case strings.HasPrefix(tok, "burst="):
+			v, err := strconv.Atoi(strings.TrimPrefix(tok, "burst="))
+			if err != nil || v < 1 || v > MaxBurst {
+				return LinkSpec{}, fmt.Errorf("link %q: bad burst budget %q (want 1..%d)", name, tok, MaxBurst)
+			}
+			ls.Burst = v
 		default:
-			return LinkSpec{}, fmt.Errorf("link %q: unknown parameter %q (want rate like 100mbps or x4, delay like 5ms, an AQM, buf=, or pattern=)", name, tok)
+			return LinkSpec{}, fmt.Errorf("link %q: unknown parameter %q (want rate like 100mbps or x4, delay like 5ms, an AQM, buf=, pattern=, or burst=)", name, tok)
 		}
 	}
 	if ls.RateMbps > 0 && ls.RateScale > 0 {

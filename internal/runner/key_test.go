@@ -35,7 +35,7 @@ func TestKeyCoversEveryField(t *testing.T) {
 			fv.SetString("probe-" + f.Name)
 		case f.Type.Kind() == reflect.Float64:
 			fv.SetFloat(123.456)
-		case f.Type.Kind() == reflect.Int64:
+		case f.Type.Kind() == reflect.Int64 || f.Type.Kind() == reflect.Int:
 			fv.SetInt(987654321)
 		case f.Type.Kind() == reflect.Bool:
 			fv.SetBool(true)
@@ -64,8 +64,9 @@ func TestKeyDistinguishesNewAxes(t *testing.T) {
 	c := Scenario{RateMbps: 48, RatePattern: "step:6:24:2000"}
 	d := Scenario{RateMbps: 48, Topology: "parking-lot"}
 	e := Scenario{RateMbps: 48, Topology: "access(x4,5ms)->bn"}
+	f := Scenario{RateMbps: 48, LinkBurst: 16}
 	keys := map[string]string{}
-	for _, sc := range []Scenario{a, b, c, d, e, {RateMbps: 48}} {
+	for _, sc := range []Scenario{a, b, c, d, e, f, {RateMbps: 48}} {
 		k := sc.Key()
 		if prev, dup := keys[k]; dup {
 			t.Fatalf("key collision between %q and %q: %s", prev, fmt.Sprintf("%+v", sc), k)

@@ -70,6 +70,14 @@ type Scenario struct {
 	CrossRateMbps float64 `json:"cross_rate_mbps,omitempty"`
 	CrossRTTms    float64 `json:"cross_rtt_ms,omitempty"`
 
+	// LinkBurst, when > 1, enables burst link forwarding with that
+	// per-event packet budget on every topology link without its own
+	// burst= parameter (exp.NetConfig.LinkBurst). Bursting changes when
+	// delivery callbacks execute (see netem.Link.SetBurst), so burst
+	// scenarios get their own key — results are not byte-comparable to
+	// per-packet runs.
+	LinkBurst int `json:"link_burst,omitempty"`
+
 	DurationSec float64 `json:"duration_sec"`
 	// Seed is the seed the user asked for (what names and result rows
 	// report). RunSeed, when non-zero, is what the simulation actually
@@ -107,6 +115,9 @@ func (s Scenario) Key() string {
 	}
 	if s.Topology != "" {
 		key += "/topo=" + s.Topology
+	}
+	if s.LinkBurst > 0 {
+		key += fmt.Sprintf("/burst=%d", s.LinkBurst)
 	}
 	return key
 }

@@ -1,45 +1,105 @@
 #!/usr/bin/env bash
-# check_bench.sh BENCH_OUTPUT BASELINE_FILE
+# check_bench.sh BENCH_OUTPUT BASELINE_FILE [COMPARE_OUT]
 #
-# Gates CI on the simulator hot paths: reads allocs/op for each gated
-# benchmark from `go test -bench` output and fails if it regressed more
-# than 20% against the checked-in baseline. A zero baseline is a hard
-# gate: the benchmark must stay allocation-free.
+# Gates CI on the simulator hot paths: reads allocs/op (and, for the
+# micro-benchmarks, ns/op) for each gated benchmark from `go test -bench`
+# output and fails on regressions against the checked-in baseline.
+#
+#   - allocs/op: fail beyond +20% of baseline. A zero baseline is a hard
+#     gate: the benchmark must stay allocation-free.
+#   - ns/op: fail beyond 3x baseline. The band is deliberately wide —
+#     CI hardware varies and these benches run at small -benchtime — so
+#     it only catches order-of-magnitude regressions (an accidental
+#     alloc-per-packet, a dropped fast path), not few-percent drift.
+#
+# When COMPARE_OUT is given, a before/after table of every gated metric
+# is written there (uploaded as a CI artifact alongside the profiles).
 set -euo pipefail
 
 bench_out=$1
 baseline_file=$2
+compare_out=${3:-}
 
-# benchmark-name baseline-key pairs, one gate per line.
+# benchmark-name alloc-baseline-key ns-baseline-key ("-" = no ns gate),
+# one gate per line.
 gates="
-BenchmarkSimulatorThroughput allocs_per_op
-BenchmarkTopologyThroughput topo_allocs_per_op
+BenchmarkSimulatorThroughput allocs_per_op -
+BenchmarkSimulatorThroughputBurst burst_allocs_per_op -
+BenchmarkTopologyThroughput topo_allocs_per_op -
+BenchmarkRealPlanAnalyze realplan_allocs_per_op realplan_ns_per_op
+BenchmarkLinkBurst linkburst_allocs_per_op linkburst_ns_per_op
 "
 
+[ -n "$compare_out" ] && printf '%-36s %-12s %10s %10s %10s %s\n' \
+    benchmark metric current baseline limit status > "$compare_out"
+
+# extract BENCH UNIT: the value of the UNIT column for the exactly-named
+# benchmark (go appends -GOMAXPROCS to the name in the output).
+extract() {
+    awk -v b="$1" -v unit="$2" '$1 ~ "^"b"(-[0-9]+)?$" {
+        for (i = 2; i <= NF; i++) if ($i == unit) print $(i-1)
+    }' "$bench_out"
+}
+
+baseline_of() {
+    awk -F= -v k="^$1=" '$0 ~ k { print $2 }' "$baseline_file"
+}
+
+record() { # bench metric current baseline limit status
+    [ -n "$compare_out" ] && printf '%-36s %-12s %10s %10s %10s %s\n' \
+        "$1" "$2" "$3" "$4" "$5" "$6" >> "$compare_out"
+    echo "$1 $2: current=$3 baseline=$4 limit=$5 [$6]"
+}
+
 fail=0
-while read -r bench key; do
+while read -r bench akey nskey; do
     [ -z "$bench" ] && continue
-    current=$(awk -v b="$bench" '$1 ~ "^"b {
-        for (i = 1; i <= NF; i++) if ($i == "allocs/op") print $(i-1)
-    }' "$bench_out")
+
+    current=$(extract "$bench" allocs/op)
     if [ -z "$current" ]; then
         echo "check_bench: no $bench allocs/op in $bench_out" >&2
         fail=1
-        continue
+    else
+        baseline=$(baseline_of "$akey")
+        if [ -z "$baseline" ]; then
+            echo "check_bench: no $akey= line in $baseline_file" >&2
+            fail=1
+        else
+            limit=$(( baseline + baseline / 5 ))
+            status=OK
+            if [ "$current" -gt "$limit" ]; then
+                status=FAIL
+                echo "check_bench: FAIL — $bench allocs/op regressed beyond 20% of baseline" >&2
+                echo "If the increase is intentional, update $baseline_file in the same PR." >&2
+                fail=1
+            fi
+            record "$bench" allocs/op "$current" "$baseline" "$limit" "$status"
+        fi
     fi
-    baseline=$(awk -F= -v k="^$key=" '$0 ~ k { print $2 }' "$baseline_file")
-    if [ -z "$baseline" ]; then
-        echo "check_bench: no $key= line in $baseline_file" >&2
+
+    [ "$nskey" = "-" ] && continue
+    ns=$(extract "$bench" ns/op)
+    if [ -z "$ns" ]; then
+        echo "check_bench: no $bench ns/op in $bench_out" >&2
         fail=1
         continue
     fi
-    limit=$(( baseline + baseline / 5 ))
-    echo "$bench allocs/op: current=$current baseline=$baseline limit(+20%)=$limit"
-    if [ "$current" -gt "$limit" ]; then
-        echo "check_bench: FAIL — $bench allocs/op regressed beyond 20% of baseline" >&2
-        echo "If the increase is intentional, update $baseline_file in the same PR." >&2
+    nsbase=$(baseline_of "$nskey")
+    if [ -z "$nsbase" ]; then
+        echo "check_bench: no $nskey= line in $baseline_file" >&2
+        fail=1
+        continue
+    fi
+    # ns/op may be fractional; compare in awk.
+    nslimit=$(awk -v b="$nsbase" 'BEGIN { printf "%d", 3 * b }')
+    status=OK
+    if awk -v c="$ns" -v l="$nslimit" 'BEGIN { exit !(c > l) }'; then
+        status=FAIL
+        echo "check_bench: FAIL — $bench ns/op ($ns) beyond 3x baseline ($nsbase)" >&2
+        echo "If the slowdown is intentional, update $baseline_file in the same PR." >&2
         fail=1
     fi
+    record "$bench" ns/op "$ns" "$nsbase" "$nslimit" "$status"
 done <<< "$gates"
 
 [ "$fail" -eq 0 ] && echo "check_bench: OK"
