@@ -12,7 +12,10 @@
 // bottleneck link: "elasticity -topology 'bn(48mbps,pattern=step:6:24:2000)'"
 // analyzes the bottleneck hop's scheduled capacity signal (the spec's
 // bottleneck needs an absolute rate, since there is no scenario to
-// inherit one from).
+// inherit one from). -churn simulates a session-arrival workload
+// (internal/workload) on the standard bottleneck and analyzes its
+// aggregate delivered rate — what churning Internet traffic actually
+// looks like to the detector.
 //
 // The uniform listing flags every CLI in this repo shares are available
 // here too: -list-traces (embedded capacity traces for -link-trace),
@@ -26,6 +29,7 @@
 //	elasticity -fp 5,2,1 -workers 4 < zseries.csv
 //	elasticity -fp 5 -link-trace cell-ramp -trace-dur 60s
 //	elasticity -fp 5 -topology 'access(100mbps,5ms)->bn(48mbps,pattern=ramp:12:48:8000)'
+//	elasticity -fp 5 -churn "bulk(load=24)" -trace-dur 60s
 //	elasticity -list-traces
 package main
 
@@ -43,6 +47,7 @@ import (
 	"nimbus/internal/netem"
 	"nimbus/internal/runner"
 	"nimbus/internal/sim"
+	"nimbus/internal/workload"
 )
 
 func main() {
@@ -55,7 +60,8 @@ func main() {
 		workers  = flag.Int("workers", 0, "parallel analyses (0 = all cores)")
 		trace    = flag.String("link-trace", "", "analyze a capacity trace (embedded name or time_ms,mbps file) instead of stdin")
 		topo     = flag.String("topology", "", "analyze a topology spec's bottleneck-link capacity signal instead of stdin (the bottleneck needs an absolute rate)")
-		traceDur = flag.Duration("trace-dur", 60*time.Second, "how much of the (possibly looping) trace to resample with -link-trace/-topology")
+		churn    = flag.String("churn", "", "analyze the aggregate delivered rate of a simulated session workload (a workload spec like bulk(load=24)) instead of stdin")
+		traceDur = flag.Duration("trace-dur", 60*time.Second, "how much signal to generate with -link-trace/-topology/-churn")
 
 		listSchemes     = flag.Bool("list-schemes", false, "list registered schemes with their typed params and exit")
 		listTraces      = flag.Bool("list-traces", false, "list embedded link capacity traces and exit")
@@ -75,16 +81,24 @@ func main() {
 		RFFT:           *rfft,
 	}
 
+	sources := 0
+	for _, s := range []string{*trace, *topo, *churn} {
+		if s != "" {
+			sources++
+		}
+	}
 	var samples []float64
 	var err error
 	switch {
-	case *trace != "" && *topo != "":
-		fmt.Fprintln(os.Stderr, "pick one of -link-trace and -topology")
+	case sources > 1:
+		fmt.Fprintln(os.Stderr, "pick one of -link-trace, -topology and -churn")
 		os.Exit(2)
 	case *trace != "":
 		samples, err = traceSamples(*trace, cfg.SampleInterval, sim.FromDuration(*traceDur))
 	case *topo != "":
 		samples, err = topoSamples(*topo, cfg.SampleInterval, sim.FromDuration(*traceDur))
+	case *churn != "":
+		samples, err = churnSamples(*churn, cfg.SampleInterval, sim.FromDuration(*traceDur))
 	default:
 		samples, err = readSamples(os.Stdin)
 	}
@@ -175,6 +189,42 @@ func topoSamples(topoSpec string, interval, dur sim.Time) ([]float64, error) {
 	for t := sim.Time(0); t < dur; t += interval {
 		out = append(out, sched.RateAt(t))
 	}
+	return out, nil
+}
+
+// churnSamples simulates a session workload (internal/workload) alone on
+// the standard 96 Mbit/s bottleneck and samples its aggregate delivered
+// rate at the detector's interval — the measurement use of the detector
+// against realistic churning traffic rather than a synthetic series.
+func churnSamples(churnSpec string, interval, dur sim.Time) ([]float64, error) {
+	wsp, err := workload.ParseSpec(churnSpec)
+	if err != nil {
+		return nil, err
+	}
+	r := exp.NewRig(exp.NetConfig{
+		RateMbps: 96, RTT: 50 * sim.Millisecond, Buffer: 100 * sim.Millisecond,
+		Seed: 1, TimerWheel: true,
+	})
+	var bytes float64
+	gen := &workload.Generator{
+		Net: r.Net, Rng: r.Rng.Split("churn"), Spec: wsp,
+		RTT: 50 * sim.Millisecond, MuBps: r.MuBps,
+		OnDeliver: func(p *netem.Packet, now sim.Time) { bytes += float64(p.Size) },
+	}
+	if err := gen.Start(0); err != nil {
+		return nil, err
+	}
+	var out []float64
+	var sample func()
+	sample = func() {
+		out = append(out, bytes*8/interval.Seconds())
+		bytes = 0
+		if r.Sch.Now()+interval <= dur {
+			r.Sch.After(interval, sample)
+		}
+	}
+	r.Sch.After(interval, sample)
+	r.Sch.RunUntil(dur)
 	return out, nil
 }
 

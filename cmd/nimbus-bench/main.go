@@ -18,8 +18,10 @@
 //	nimbus-bench -run mobile          # schemes x time-varying link traces
 //	nimbus-bench -run coexist         # heterogeneous flow mixes x traces
 //	nimbus-bench -run topo            # parking-lot fairness, congested ACK paths
+//	nimbus-bench -run churn           # schemes x session-arrival workloads
 //	nimbus-bench -run all -full
 //	nimbus-bench -benchmark [-bench-out BENCH_runner.json] [-topology access-hop]
+//	nimbus-bench -benchmark -churn "bulk(load=24)" -timer-wheel
 package main
 
 import (
@@ -34,6 +36,7 @@ import (
 	"nimbus/internal/netem"
 	"nimbus/internal/runner"
 	"nimbus/internal/scheme"
+	"nimbus/internal/workload"
 )
 
 func main() {
@@ -53,9 +56,11 @@ func realMain() int {
 		run             = flag.String("run", "", "experiment id to run (or \"all\")")
 		topo            = flag.String("topology", "", "topology(ies) for the -benchmark sweep: preset names or chain specs, comma-separated (default: the single bottleneck)")
 		burst           = flag.Int("burst", 0, "burst link forwarding budget for the -benchmark sweep (0/1 = off; burst cells get their own scenario keys)")
+		churn           = flag.String("churn", "", "churn workload(s) for the -benchmark sweep: workload specs like bulk(load=24), comma-separated (default: no session churn)")
 		seed            = flag.Int64("seed", 1, "simulation seed")
 		full            = flag.Bool("full", false, "run at the paper's full horizons (slower)")
 		workers         = flag.Int("workers", 0, "worker pool size for experiment grids (0 = all cores, 1 = sequential)")
+		timerWheel      = flag.Bool("timer-wheel", false, "back every scheduler with the hashed timer wheel instead of the 4-ary heap (identical results; faster under dense timer churn)")
 		bench           = flag.Bool("benchmark", false, "run the canonical scenario sweep and report events/sec per scenario")
 		benchOut        = flag.String("bench-out", "BENCH_runner.json", "where -benchmark writes its results (.json or .csv)")
 		cpuprofile      = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
@@ -63,6 +68,7 @@ func realMain() int {
 	)
 	flag.Parse()
 	exp.Workers = *workers
+	exp.TimerWheel = *timerWheel
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -94,7 +100,7 @@ func realMain() int {
 	switch {
 	case exp.HandleListFlags(*listSchemes, *listTraces, *listTopologies, *list || *listExperiments):
 	case *bench:
-		return runBenchmark(*seed, *workers, *benchOut, *topo, *burst)
+		return runBenchmark(*seed, *workers, *benchOut, *topo, *burst, *churn)
 	case *run == "":
 		flag.Usage()
 		return 2
@@ -120,9 +126,11 @@ func realMain() int {
 // repo implements against the cross-traffic kinds that stress different
 // parts of the stack, at two link rates. It exists so BENCH_runner.json
 // is comparable across commits. -topology adds a topology axis (the
-// default keeps the historical single-bottleneck grid).
-func benchGrid(seed int64, topos []string, burst int) runner.Grid {
-	return runner.Grid{
+// default keeps the historical single-bottleneck grid). -churn swaps the
+// cross-traffic axis for session-workload cells, benchmarking the
+// scheduler under dense per-flow timer churn.
+func benchGrid(seed int64, topos, churns []string, burst int) runner.Grid {
+	g := runner.Grid{
 		Base: runner.Scenario{
 			RTTms: 50, BufferMs: 100, DurationSec: 30, Seed: seed,
 			LinkBurst: burst,
@@ -130,15 +138,22 @@ func benchGrid(seed int64, topos []string, burst int) runner.Grid {
 		RatesMbps:  []float64{96, 192},
 		Schemes:    scheme.Specs("nimbus", "cubic", "bbr", "copa"),
 		Topologies: topos,
+		Churns:     churns,
 		Crosses: []runner.Cross{
 			{Kind: "none"},
 			{Kind: "poisson", RateMbps: 48},
 			{Kind: "cubic"},
 		},
 	}
+	if len(churns) > 0 {
+		// Session arrivals are the cross traffic in churn cells; the
+		// cross axis would just run the same workload three times.
+		g.Crosses = nil
+	}
+	return g
 }
 
-func runBenchmark(seed int64, workers int, out, topo string, burst int) int {
+func runBenchmark(seed int64, workers int, out, topo string, burst int, churn string) int {
 	var topos []string
 	for _, it := range scheme.SplitList(topo) {
 		c, err := netem.CanonicalTopology(it)
@@ -148,11 +163,20 @@ func runBenchmark(seed int64, workers int, out, topo string, burst int) int {
 		}
 		topos = append(topos, c)
 	}
+	var churns []string
+	for _, it := range scheme.SplitList(churn) {
+		wsp, err := workload.ParseSpec(it)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "-churn:", err)
+			return 2
+		}
+		churns = append(churns, wsp.String())
+	}
 	if burst < 0 || burst > netem.MaxBurst {
 		fmt.Fprintf(os.Stderr, "-burst: budget %d out of range 0..%d\n", burst, netem.MaxBurst)
 		return 2
 	}
-	scs := benchGrid(seed, topos, burst).Expand()
+	scs := benchGrid(seed, topos, churns, burst).Expand()
 	fmt.Fprintf(os.Stderr, "benchmark: %d scenarios on %d workers\n", len(scs), effectiveWorkers(workers))
 	start := time.Now()
 	rn := &runner.Runner{Workers: workers, OnProgress: runner.Progress(os.Stderr)}

@@ -6,15 +6,19 @@
 // scheme inline (-list-schemes documents every scheme and parameter).
 // "-flows nimbus*2+cubic@10" replaces the single scheme under test with
 // a heterogeneous flow mix (counts, staggered joins, finite flows) and
-// reports per-flow throughput plus Jain/JSD fairness. The bottleneck may
+// reports per-flow throughput plus Jain/JSD fairness. "-churn
+// bulk(load=24)" runs a session-arrival workload (internal/workload)
+// against the scheme under test — short flows arriving and departing for
+// the whole horizon — and reports churn_* metrics (completion times,
+// fairness, elastic ground truth) alongside the usual ones. The bottleneck may
 // be time-varying: -link-trace names an embedded capacity trace (or a
 // time_ms,mbps file) and -rate-pattern applies a step/ramp/outage
 // pattern to the nominal rate. The path may be multi-hop: -topology
 // selects a registered preset (single, access-hop, parking-lot,
 // rev-congested; see -list-topologies) or a chain spec like
 // "access(x4,5ms)->bn", and multi-hop runs report per-hop
-// utilization/drops/queueing. Any of -scheme, -flows, -rate, -rtt,
-// -buf, -aqm, -cross, -link-trace, -rate-pattern, -topology and -seed
+// utilization/drops/queueing. Any of -scheme, -flows, -churn, -rate,
+// -rtt, -buf, -aqm, -cross, -link-trace, -rate-pattern, -topology and -seed
 // also accept comma-separated lists (commas inside a spec's parentheses
 // don't split); the cartesian product then runs as a parallel sweep on
 // -workers cores and prints one summary row per scenario (optionally
@@ -28,6 +32,7 @@
 //	nimbus-sim -flows "nimbus+cubic,nimbus*2+bbr@10" -link-trace cell-ramp,wifi-cafe
 //	nimbus-sim -scheme nimbus -rate-pattern step:12:48:4000,outage:20000:5000 -dur 60s
 //	nimbus-sim -scheme nimbus,cubic -topology access-hop,parking-lot -out topo.json
+//	nimbus-sim -scheme nimbus -churn "bulk(load=24),web(load=12)" -dur 60s
 //	nimbus-sim -list-schemes
 package main
 
@@ -45,12 +50,14 @@ import (
 	"nimbus/internal/runner"
 	spec "nimbus/internal/scheme"
 	"nimbus/internal/sim"
+	"nimbus/internal/workload"
 )
 
 func main() {
 	var (
 		scheme  = flag.String("scheme", "nimbus", "scheme spec(s) under test, comma-separated (see -list-schemes)")
 		flows   = flag.String("flows", "", "heterogeneous flow mix(es) replacing -scheme: SPEC[*COUNT][@STARTs[:STOPs]] joined by \"+\"; comma-separated for sweeps")
+		churn   = flag.String("churn", "", "session-arrival workload(s) competing with -scheme: workload specs like bulk(load=24), web(load=12,cc=bbr), trace(src=flash-crowd); comma-separated for sweeps")
 		rate    = flag.String("rate", "96", "bottleneck link rate(s), Mbit/s, comma-separated")
 		rtt     = flag.String("rtt", "50ms", "base RTT(s), comma-separated durations")
 		buf     = flag.String("buf", "100ms", "buffer depth(s) (time at link rate), comma-separated durations")
@@ -64,6 +71,7 @@ func main() {
 		dur     = flag.Duration("dur", 60*time.Second, "simulated duration")
 		seed    = flag.String("seed", "1", "random seed(s), comma-separated")
 		workers = flag.Int("workers", 0, "sweep worker pool size (0 = all cores, 1 = sequential)")
+		wheel   = flag.Bool("timer-wheel", false, "back every scheduler with the hashed timer wheel instead of the 4-ary heap (identical results; faster under dense timer churn)")
 		out     = flag.String("out", "", "write sweep results to this file (.json or .csv)")
 		quiet   = flag.Bool("quiet", false, "suppress the per-second trace (single-scenario mode)")
 
@@ -73,6 +81,7 @@ func main() {
 		listExperiments = flag.Bool("list-experiments", false, "list paper experiment ids (run them with nimbus-bench -run) and exit")
 	)
 	flag.Parse()
+	exp.TimerWheel = *wheel
 	if exp.HandleListFlags(*listSchemes, *listTraces, *listTopologies, *listExperiments) {
 		return
 	}
@@ -97,6 +106,9 @@ func main() {
 		Seeds:        parseInts(*seed, "-seed"),
 	}
 	if *flows != "" {
+		if *churn != "" {
+			fatalf("-flows and -churn are mutually exclusive")
+		}
 		grid.FlowMixes = flowMixes(*flows)
 	} else {
 		grid.Schemes = specList(*scheme)
@@ -104,6 +116,7 @@ func main() {
 			fatalf("-scheme: no values given")
 		}
 	}
+	grid.Churns = churnList(*churn)
 	scs := grid.Expand()
 	if len(scs) == 1 {
 		// Single-scenario mode runs with the requested seed itself (the
@@ -154,6 +167,22 @@ func flowMixes(s string) []string {
 		mixes[i] = exp.FormatFlowMix(fss)
 	}
 	return mixes
+}
+
+// churnList splits and canonicalizes the -churn value (commas inside a
+// workload spec's parentheses don't split): equivalent spellings like
+// "bulk(load=24.0)" and "bulk(load=24)" land on the same scenario key
+// and derived seed.
+func churnList(s string) []string {
+	items := spec.SplitList(s)
+	for i, it := range items {
+		wsp, err := workload.ParseSpec(it)
+		if err != nil {
+			fatalf("-churn: %v", err)
+		}
+		items[i] = wsp.String()
+	}
+	return items
 }
 
 // topoList splits and canonicalizes the -topology value (commas inside a
@@ -215,8 +244,8 @@ func runSweep(scs []runner.Scenario, workers int, out string) {
 // runSingle preserves the classic single-scenario view: a per-second
 // trace of throughput, queueing delay and Nimbus mode, then a summary.
 func runSingle(sc runner.Scenario, quiet bool) {
-	if sc.FlowMix != "" {
-		runSingleMix(sc)
+	if sc.FlowMix != "" || sc.Churn != "" {
+		runSingleMetrics(sc)
 		return
 	}
 	r, scheme, probe, err := rigFor(sc)
@@ -260,15 +289,20 @@ func runSingle(sc runner.Scenario, quiet bool) {
 	fmt.Println()
 }
 
-// runSingleMix runs one flow-mix scenario and prints every metric the
-// run produced (per-flow throughputs, fairness, delays), sorted by name.
-func runSingleMix(sc runner.Scenario) {
-	r := exp.RunFlowMixScenario(sc)
+// runSingleMetrics runs one flow-mix or churn scenario and prints every
+// metric the run produced (per-flow throughputs, fairness, delays,
+// churn_* summaries), sorted by name.
+func runSingleMetrics(sc runner.Scenario) {
+	r := exp.RunScenario(sc)
 	if r.Err != "" {
 		fmt.Fprintln(os.Stderr, r.Err)
 		os.Exit(2)
 	}
-	fmt.Printf("flows: %s\n", sc.FlowMix)
+	if sc.FlowMix != "" {
+		fmt.Printf("flows: %s\n", sc.FlowMix)
+	} else {
+		fmt.Printf("scheme: %s  churn: %s\n", sc.Scheme, sc.Churn)
+	}
 	names := make([]string, 0, len(r.Metrics))
 	for k := range r.Metrics {
 		names = append(names, k)

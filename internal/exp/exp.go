@@ -46,6 +46,12 @@ type NetConfig struct {
 	// links burst; see Link.SetBurst for the (documented) event-timing
 	// difference versus per-packet forwarding.
 	LinkBurst int
+	// TimerWheel backs the scheduler's event queue with the hashed timer
+	// wheel (sim.Scheduler.UseTimerWheel) instead of the 4-ary heap.
+	// Event order — and therefore every result — is identical either
+	// way; the wheel wins on dense timer churn (thousands of concurrent
+	// flows), so churn scenarios enable it automatically.
+	TimerWheel bool
 }
 
 // Rig is an instantiated network for one experiment run. Link is the
@@ -73,6 +79,9 @@ func NewRig(cfg NetConfig) *Rig {
 		panic("exp: " + err.Error())
 	}
 	sch := sim.NewScheduler()
+	if cfg.TimerWheel {
+		sch.UseTimerWheel()
+	}
 	rng := sim.NewRand(cfg.Seed + 1)
 	nominal := cfg.RateMbps * 1e6
 	// The µ link depends on the nominal rate for chains mixing scaled and

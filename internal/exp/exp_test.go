@@ -17,7 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
 		"fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22",
 		"fig23", "fig24", "fig25", "fig26", "table1", "tableE", "mobile",
-		"coexist", "topo",
+		"coexist", "topo", "churn",
 	}
 	for _, id := range want {
 		if _, ok := Registry[id]; !ok {
@@ -30,6 +30,20 @@ func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
 	if len(ids) != len(want) {
 		t.Fatalf("IDs() returned %d", len(ids))
+	}
+}
+
+func TestEveryExperimentHasFamily(t *testing.T) {
+	for _, id := range IDs() {
+		if FamilyOf(id) == "" {
+			t.Errorf("experiment %s belongs to no family; add one to exp.Families", id)
+		}
+	}
+	list := FormatExperimentList()
+	for _, f := range Families {
+		if !strings.Contains(list, f.Name+": ") {
+			t.Errorf("FormatExperimentList missing family header %q", f.Name)
+		}
 	}
 }
 

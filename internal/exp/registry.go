@@ -72,6 +72,8 @@ var Registry = map[string]Experiment{
 		func(seed int64, quick bool) string { return FormatFig25(Fig25(seed, quick)) }},
 	"fig26": {"fig26", "Detecting PCC-Vivace via pulse frequency",
 		func(seed int64, quick bool) string { return FormatFig26(Fig26(seed, quick)) }},
+	"churn": {"churn", "Internet-scale flow churn: schemes x session workloads",
+		func(seed int64, quick bool) string { return FormatChurn(Churn(seed, quick)) }},
 	"coexist": {"coexist", "Heterogeneous flow mixes: coexistence and fairness",
 		func(seed int64, quick bool) string { return FormatCoexist(Coexist(seed, quick)) }},
 	"mobile": {"mobile", "Time-varying links: schemes x capacity-trace corpus",
@@ -146,12 +148,52 @@ func HandleListFlags(schemes, traces, topologies, experiments bool) bool {
 	return true
 }
 
-// FormatExperimentList renders the registry index, one "id title" line
-// per experiment — the text every CLI prints for -list-experiments.
+// Family is one group of related experiments in the registry: the paper
+// reproductions (fig*, table*) and each sweep family grown on top of
+// them. Name is an id prefix ("fig" covers fig01..fig26) or an exact id.
+type Family struct {
+	Name string
+	Doc  string
+}
+
+// Families lists the experiment families in documentation order. Every
+// registry id must belong to exactly one family
+// (TestEveryExperimentHasFamily); docs/experiments.md documents each
+// family with a runnable invocation (scripts/check_docs.sh).
+var Families = []Family{
+	{"fig", "paper figure reproductions (pulses, detection, coexistence dynamics)"},
+	{"table", "paper table reproductions (classification accuracy, robustness)"},
+	{"mobile", "time-varying links: schemes x capacity-trace corpus"},
+	{"coexist", "heterogeneous flow mixes: coexistence and fairness"},
+	{"topo", "multi-hop topologies: parking-lot fairness, congested ACK paths"},
+	{"churn", "Internet-scale flow churn: session workloads vs long-lived schemes"},
+}
+
+// FamilyOf returns the family an experiment id belongs to ("" if none):
+// the longest family name that prefixes the id.
+func FamilyOf(id string) string {
+	best := ""
+	for _, f := range Families {
+		if strings.HasPrefix(id, f.Name) && len(f.Name) > len(best) {
+			best = f.Name
+		}
+	}
+	return best
+}
+
+// FormatExperimentList renders the registry index grouped by family —
+// the text every CLI prints for -list-experiments. Each family gets a
+// "family: doc" header followed by its member experiments, so the
+// listing explains what a family is for, not just which ids exist.
 func FormatExperimentList() string {
 	var b strings.Builder
-	for _, id := range IDs() {
-		fmt.Fprintf(&b, "%-8s %s\n", id, Registry[id].Title)
+	for _, f := range Families {
+		fmt.Fprintf(&b, "%s: %s\n", f.Name, f.Doc)
+		for _, id := range IDs() {
+			if FamilyOf(id) == f.Name {
+				fmt.Fprintf(&b, "  %-8s %s\n", id, Registry[id].Title)
+			}
+		}
 	}
 	return b.String()
 }

@@ -17,6 +17,35 @@ func JainIndex(xs []float64) float64 {
 	return sum * sum / (float64(len(xs)) * sumSq)
 }
 
+// OnlineJain accumulates Jain's fairness index one observation at a
+// time, so a churn workload can score fairness over tens of thousands of
+// completed flows without retaining a per-flow slice. Feed it one
+// representative rate per flow (e.g. size/FCT) as each flow completes;
+// Index() is then exactly JainIndex of the values seen so far.
+type OnlineJain struct {
+	n          int
+	sum, sumSq float64
+}
+
+// Add records one flow's value.
+func (j *OnlineJain) Add(x float64) {
+	j.n++
+	j.sum += x
+	j.sumSq += x * x
+}
+
+// N returns the number of values observed.
+func (j *OnlineJain) N() int { return j.n }
+
+// Index returns Jain's index over the values observed so far (0 when
+// empty or all-zero, matching JainIndex).
+func (j *OnlineJain) Index() float64 {
+	if j.sumSq <= 0 {
+		return 0
+	}
+	return j.sum * j.sum / (float64(j.n) * j.sumSq)
+}
+
 // JSDUniform is the Jensen-Shannon divergence, in bits, between the
 // normalized share vector and the equal-share (uniform) allocation: 0
 // for perfect fairness, approaching 1 as the allocation concentrates.

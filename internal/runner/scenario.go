@@ -5,6 +5,27 @@
 // design (internal/sim), which makes sweeps embarrassingly parallel: the
 // engine's only job is to hand every run an isolated random stream, fan
 // the runs out, and reassemble results in submission order.
+//
+// # Key stability
+//
+// Scenario.Key is the contract that makes all of this hold together: a
+// canonical one-line encoding of every parameter, fed to sim.DeriveSeed
+// to give each scenario its own random stream. Three guarantees follow,
+// and every change to Scenario must preserve them:
+//
+//  1. Two scenarios differing in any field have different keys (enforced
+//     by TestKeyCoversEveryField via reflection), so no two distinct
+//     cells of a sweep ever share a stream.
+//  2. A scenario's key never depends on where it appears — not on the
+//     grid that expanded it, the worker that ran it, or the fields that
+//     happened to vary — so results are reproducible cell by cell.
+//  3. New fields append to the key only when set ("/flows=", "/topo=",
+//     "/churn=", ...), so every scenario expressible before the field
+//     existed keeps its exact key, derived seed, and results.
+//
+// Fields whose string form has equivalent spellings (topologies, flow
+// mixes, churn specs) must be stored canonicalized, as the CLIs do:
+// the string enters the key verbatim.
 package runner
 
 import (
@@ -65,6 +86,17 @@ type Scenario struct {
 	// spellings would otherwise derive different seeds.
 	FlowMix string `json:"flow_mix,omitempty"`
 
+	// Churn, when non-empty, runs the scenario as a flow-churn workload:
+	// the scheme under test competes with a session-arrival process
+	// (internal/workload) of short flows arriving and departing for the
+	// whole horizon, and the result carries detection-accuracy and
+	// fairness-under-churn metrics. The spec is a workload.Spec string
+	// like "bulk(load=24)" or "web(load=12,cc=cubic)". Store the
+	// canonical form (workload.ParseSpec(...).String(), as the CLIs do):
+	// the string enters Key() verbatim, so equivalent spellings would
+	// otherwise derive different seeds.
+	Churn string `json:"churn,omitempty"`
+
 	// Cross traffic (internal/exp.AddCross kinds) and its offered rate.
 	Cross         string  `json:"cross,omitempty"`
 	CrossRateMbps float64 `json:"cross_rate_mbps,omitempty"`
@@ -119,6 +151,9 @@ func (s Scenario) Key() string {
 	if s.LinkBurst > 0 {
 		key += fmt.Sprintf("/burst=%d", s.LinkBurst)
 	}
+	if s.Churn != "" {
+		key += "/churn=" + s.Churn
+	}
 	return key
 }
 
@@ -150,6 +185,8 @@ func (s Scenario) label(varying []string) string {
 			parts = append(parts, s.Scheme.String())
 		case "flows":
 			parts = append(parts, "flows="+s.FlowMix)
+		case "churn":
+			parts = append(parts, "churn="+s.Churn)
 		case "cross":
 			parts = append(parts, fmt.Sprintf("cross=%s:%g", s.Cross, s.CrossRateMbps))
 		case "seed":
@@ -185,6 +222,7 @@ type Grid struct {
 	AQMs         []string      `json:"aqms,omitempty"`
 	Schemes      []scheme.Spec `json:"schemes,omitempty"`
 	FlowMixes    []string      `json:"flow_mixes,omitempty"`
+	Churns       []string      `json:"churns,omitempty"`
 	Crosses      []Cross       `json:"crosses,omitempty"`
 	Seeds        []int64       `json:"seeds,omitempty"`
 }
@@ -231,6 +269,10 @@ func (g Grid) Expand() []Scenario {
 	if len(mixes) == 0 {
 		mixes = []string{g.Base.FlowMix}
 	}
+	churns := g.Churns
+	if len(churns) == 0 {
+		churns = []string{g.Base.Churn}
+	}
 	// A flow mix replaces the scheme under test, so sweeping both axes
 	// would emit duplicate scenarios whose scheme= key component differs
 	// but whose runs are identical in everything except the derived
@@ -253,7 +295,7 @@ func (g Grid) Expand() []Scenario {
 		name string
 		n    int
 	}{
-		{"scheme", len(schemes)}, {"flows", len(mixes)}, {"cross", len(crosses)}, {"rate", len(rates)},
+		{"scheme", len(schemes)}, {"flows", len(mixes)}, {"churn", len(churns)}, {"cross", len(crosses)}, {"rate", len(rates)},
 		{"trace", len(traces)}, {"pattern", len(patterns)}, {"topo", len(topos)},
 		{"rtt", len(rtts)}, {"buf", len(bufs)}, {"aqm", len(aqms)}, {"seed", len(seeds)},
 	} {
@@ -262,36 +304,39 @@ func (g Grid) Expand() []Scenario {
 		}
 	}
 
-	out := make([]Scenario, 0, len(schemes)*len(mixes)*len(crosses)*len(rates)*len(traces)*len(patterns)*len(topos)*len(rtts)*len(bufs)*len(aqms)*len(seeds))
+	out := make([]Scenario, 0, len(schemes)*len(mixes)*len(churns)*len(crosses)*len(rates)*len(traces)*len(patterns)*len(topos)*len(rtts)*len(bufs)*len(aqms)*len(seeds))
 	for _, sp := range schemes {
 		for _, mix := range mixes {
-			for _, cross := range crosses {
-				for _, rate := range rates {
-					for _, trace := range traces {
-						for _, pattern := range patterns {
-							for _, topo := range topos {
-								for _, rtt := range rtts {
-									for _, buf := range bufs {
-										for _, aqm := range aqms {
-											for _, seed := range seeds {
-												sc := g.Base
-												sc.Scheme = sp
-												sc.FlowMix = mix
-												sc.Cross = cross.Kind
-												sc.CrossRateMbps = cross.RateMbps
-												sc.RateMbps = rate
-												sc.LinkTrace = trace
-												sc.RatePattern = pattern
-												sc.Topology = topo
-												sc.RTTms = rtt
-												sc.BufferMs = buf
-												sc.AQM = aqm
-												sc.Seed = seed
-												sc.RunSeed = sim.DeriveSeed(seed, sc.Key())
-												if sc.Name == "" || sc.Name == g.Base.Name {
-													sc.Name = sc.label(varying)
+			for _, churn := range churns {
+				for _, cross := range crosses {
+					for _, rate := range rates {
+						for _, trace := range traces {
+							for _, pattern := range patterns {
+								for _, topo := range topos {
+									for _, rtt := range rtts {
+										for _, buf := range bufs {
+											for _, aqm := range aqms {
+												for _, seed := range seeds {
+													sc := g.Base
+													sc.Scheme = sp
+													sc.FlowMix = mix
+													sc.Churn = churn
+													sc.Cross = cross.Kind
+													sc.CrossRateMbps = cross.RateMbps
+													sc.RateMbps = rate
+													sc.LinkTrace = trace
+													sc.RatePattern = pattern
+													sc.Topology = topo
+													sc.RTTms = rtt
+													sc.BufferMs = buf
+													sc.AQM = aqm
+													sc.Seed = seed
+													sc.RunSeed = sim.DeriveSeed(seed, sc.Key())
+													if sc.Name == "" || sc.Name == g.Base.Name {
+														sc.Name = sc.label(varying)
+													}
+													out = append(out, sc)
 												}
-												out = append(out, sc)
 											}
 										}
 									}

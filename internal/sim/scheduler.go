@@ -34,7 +34,7 @@ func (t *Timer) Cancel() {
 	}
 	t.cancelled = true
 	if t.idx >= 0 && t.sch != nil {
-		t.sch.events.remove(t)
+		t.sch.qremove(t)
 		t.sch.release(t)
 	}
 }
@@ -173,6 +173,7 @@ func (h *eventHeap) remove(t *Timer) {
 type Scheduler struct {
 	now     Time
 	events  eventHeap
+	wheel   *timerWheel // non-nil after UseTimerWheel; replaces events
 	seq     uint64
 	stopped bool
 	free    []*Timer
@@ -204,7 +205,7 @@ func (s *Scheduler) schedule(t Time, fn func(), afn func(any), arg any, pooled b
 	} else {
 		ev = &Timer{at: t, seq: s.seq, fn: fn, afn: afn, arg: arg, sch: s, pooled: pooled}
 	}
-	s.events.push(ev)
+	s.qpush(ev)
 	return ev
 }
 
@@ -259,7 +260,7 @@ func (s *Scheduler) Rearm(tm *Timer, t Time, fn func()) *Timer {
 	}
 	s.seq++
 	*tm = Timer{at: t, seq: s.seq, fn: fn, sch: s}
-	s.events.push(tm)
+	s.qpush(tm)
 	return tm
 }
 
@@ -290,7 +291,7 @@ func (s *Scheduler) AfterArg(d Time, fn func(arg any), arg any) {
 
 // Pending returns the number of events currently queued. Cancelled events
 // are removed at Cancel time, so they are never counted.
-func (s *Scheduler) Pending() int { return len(s.events) }
+func (s *Scheduler) Pending() int { return s.qlen() }
 
 // FreeTimers returns the current size of the timer free list (tests).
 func (s *Scheduler) FreeTimers() int { return len(s.free) }
@@ -303,7 +304,7 @@ func (s *Scheduler) Stop() { s.stopped = true }
 // queue (releasing pooled ones) immediately, so Run and RunUntil share
 // this single drain-free pop path.
 func (s *Scheduler) step() bool {
-	ev := s.events.pop()
+	ev := s.qpop()
 	if ev == nil {
 		return false
 	}
@@ -327,7 +328,8 @@ func (s *Scheduler) Run() {
 func (s *Scheduler) RunUntil(end Time) {
 	s.stopped = false
 	for !s.stopped {
-		if len(s.events) == 0 || s.events[0].at > end {
+		head := s.qpeek()
+		if head == nil || head.at > end {
 			break
 		}
 		s.step()

@@ -1,0 +1,45 @@
+package workload
+
+import (
+	"math"
+
+	"nimbus/internal/sim"
+)
+
+// SizeDist draws flow sizes from a bounded Pareto distribution on
+// [XM, Cap] bytes with shape Alpha — the standard heavy-tailed model for
+// Internet flow sizes: most flows are mice, most bytes belong to
+// elephants, and the Cap bound keeps the mean finite (and the simulation
+// horizon meaningful) even at shapes ≤ 1.
+type SizeDist struct {
+	XM, Cap float64 // minimum and maximum size, bytes
+	Alpha   float64 // tail shape; smaller is heavier
+}
+
+// Sample draws one flow size by inverse-CDF, consuming one variate.
+func (d SizeDist) Sample(rng *sim.Rand) int {
+	u := rng.Float64()
+	r := d.XM / d.Cap
+	var x float64
+	if d.Alpha == 1 {
+		x = d.XM / (1 - u*(1-r))
+	} else {
+		x = d.XM / math.Pow(1-u*(1-math.Pow(r, d.Alpha)), 1/d.Alpha)
+	}
+	if x > d.Cap {
+		x = d.Cap // guard float round-up at u → 1
+	}
+	return int(x)
+}
+
+// MeanBytes returns the distribution's analytic mean, used to convert an
+// offered load into a Poisson arrival rate.
+func (d SizeDist) MeanBytes() float64 {
+	r := d.XM / d.Cap
+	if d.Alpha == 1 {
+		return d.XM * math.Log(d.Cap/d.XM) / (1 - r)
+	}
+	a := d.Alpha
+	num := math.Pow(d.XM, a) * a / (a - 1) * (math.Pow(d.XM, 1-a) - math.Pow(d.Cap, 1-a))
+	return num / (1 - math.Pow(r, a))
+}

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# check_docs.sh [REPO_ROOT]
+#
+# Gates CI on documentation coverage:
+#
+#   - Every CLI flag defined in cmd/*/main.go must be mentioned (as
+#     "-flagname") in README.md or docs/*.md. A new flag lands with its
+#     documentation or the build fails.
+#   - Every experiment family in exp.Families (internal/exp/registry.go)
+#     must have a "## family" section in docs/experiments.md.
+#
+# Flags are extracted from flag.String/Bool/Int/... call sites, families
+# from the Families literal, so the source of truth stays the code.
+set -euo pipefail
+
+root=${1:-$(dirname "$0")/..}
+cd "$root"
+
+docs="README.md docs/*.md"
+fail=0
+
+# --- every CLI flag is documented ------------------------------------
+
+flags=$(grep -hoE 'flag\.(String|Bool|Int|Int64|Uint|Float64|Duration)\("[^"]+"' cmd/*/main.go |
+    sed -E 's/.*\("([^"]+)".*/\1/' | sort -u || true)
+if [ -z "$flags" ]; then
+    echo "check_docs: found no flag definitions under cmd/ — extraction broken?" >&2
+    exit 1
+fi
+
+for f in $flags; do
+    # Match "-flag" followed by a non-flag-name character (space, comma,
+    # quote, backtick, equals, end of line) so -rate doesn't satisfy
+    # -rate-pattern's requirement.
+    if ! grep -qE -- "-$f([^a-z0-9-]|$)" $docs; then
+        echo "check_docs: FAIL — flag -$f (cmd/*/main.go) is not mentioned in README.md or docs/" >&2
+        fail=1
+    fi
+done
+n=$(echo "$flags" | wc -l)
+echo "check_docs: $n CLI flags checked against $docs"
+
+# --- every experiment family has a docs section ----------------------
+
+families=$(awk '/^var Families = /,/^}/' internal/exp/registry.go |
+    grep -oE '^[[:space:]]*\{"[a-z0-9-]+"' | sed -E 's/.*"([^"]+)"/\1/' || true)
+if [ -z "$families" ]; then
+    echo "check_docs: found no Families entries in internal/exp/registry.go — extraction broken?" >&2
+    exit 1
+fi
+
+for fam in $families; do
+    if ! grep -qE "^## $fam( |$)" docs/experiments.md; then
+        echo "check_docs: FAIL — experiment family \"$fam\" has no \"## $fam\" section in docs/experiments.md" >&2
+        fail=1
+    fi
+done
+n=$(echo "$families" | wc -l)
+echo "check_docs: $n experiment families checked against docs/experiments.md"
+
+[ "$fail" -eq 0 ] && echo "check_docs: OK"
+exit "$fail"
