@@ -22,9 +22,20 @@
 //	nimbus-bench -run all -full
 //	nimbus-bench -benchmark [-bench-out BENCH_runner.json] [-topology access-hop]
 //	nimbus-bench -benchmark -churn "bulk(load=24)" -timer-wheel
+//	nimbus-bench -grid sweep.json -out results.json
+//	nimbus-bench -grid sweep.json -remote http://127.0.0.1:9037 -out results.json
+//
+// -grid runs an arbitrary sweep described by a runner.Grid JSON file;
+// with -remote it is submitted to a nimbus-svc daemon instead of
+// simulated locally, streaming the daemon's per-cell progress and saving
+// the response verbatim — byte-identical to a local run of the same grid
+// (cells the daemon has seen before come from its cache and are not
+// simulated at all).
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +47,7 @@ import (
 	"nimbus/internal/netem"
 	"nimbus/internal/runner"
 	"nimbus/internal/scheme"
+	"nimbus/internal/svc"
 	"nimbus/internal/workload"
 )
 
@@ -63,6 +75,9 @@ func realMain() int {
 		timerWheel      = flag.Bool("timer-wheel", false, "back every scheduler with the hashed timer wheel instead of the 4-ary heap (identical results; faster under dense timer churn)")
 		bench           = flag.Bool("benchmark", false, "run the canonical scenario sweep and report events/sec per scenario")
 		benchOut        = flag.String("bench-out", "BENCH_runner.json", "where -benchmark writes its results (.json or .csv)")
+		gridFile        = flag.String("grid", "", "run the sweep grid described by this JSON file (a runner.Grid document)")
+		remote          = flag.String("remote", "", "submit the -grid or -benchmark sweep to a nimbus-svc daemon at this base URL instead of simulating locally")
+		outFile         = flag.String("out", "", "where -grid writes its results (.json or .csv; remote responses are saved verbatim, so use .json)")
 		cpuprofile      = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
 		memprofile      = flag.String("memprofile", "", "write a heap profile to this file when the run completes")
 	)
@@ -99,8 +114,10 @@ func realMain() int {
 
 	switch {
 	case exp.HandleListFlags(*listSchemes, *listTraces, *listTopologies, *list || *listExperiments):
+	case *gridFile != "":
+		return runGridFile(*gridFile, *remote, *workers, *outFile)
 	case *bench:
-		return runBenchmark(*seed, *workers, *benchOut, *topo, *burst, *churn)
+		return runBenchmark(*seed, *workers, *benchOut, *topo, *burst, *churn, *remote)
 	case *run == "":
 		flag.Usage()
 		return 2
@@ -153,7 +170,113 @@ func benchGrid(seed int64, topos, churns []string, burst int) runner.Grid {
 	return g
 }
 
-func runBenchmark(seed int64, workers int, out, topo string, burst int, churn string) int {
+// runGridFile executes an arbitrary sweep grid from a JSON file — the
+// same document POST /jobs accepts — either locally or on a nimbus-svc
+// daemon. Spec-valued fields (schemes, topologies, flow mixes, churn)
+// must already be canonical, as the CLIs and Grid emitters write them:
+// the strings enter scenario keys (and so cache keys) verbatim.
+func runGridFile(path, remote string, workers int, out string) int {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	var g runner.Grid
+	if err := json.Unmarshal(b, &g); err != nil {
+		fmt.Fprintf(os.Stderr, "-grid %s: %v\n", path, err)
+		return 2
+	}
+	if remote != "" {
+		return runRemote(remote, g, workers, out)
+	}
+	scs := g.Expand()
+	fmt.Fprintf(os.Stderr, "grid %s: %d scenarios on %d workers\n", path, len(scs), effectiveWorkers(workers))
+	rn := &runner.Runner{Workers: workers, OnProgress: runner.Progress(os.Stderr)}
+	start := time.Now()
+	rs := rn.Run(scs, exp.RunScenario)
+	printResults(rs, time.Since(start).Seconds())
+	return writeResults(out, rs)
+}
+
+// runRemote submits a grid to a nimbus-svc daemon, streams its per-cell
+// progress to stderr, and saves the results document verbatim — the
+// bytes the daemon emits are the bytes a local batch run would have
+// written, which is what makes remote and local runs comparable with cmp.
+func runRemote(base string, g runner.Grid, workers int, out string) int {
+	ctx := context.Background()
+	client := svc.NewClient(base)
+	created, err := client.Submit(ctx, g, workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "remote job %s: %d cells on %s\n", created.ID, created.Total, base)
+	if err := client.StreamEvents(ctx, created.ID, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "event stream: %v\n", err)
+	}
+	raw, err := client.RawResults(ctx, created.ID)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var rs []runner.Result
+	if err := json.Unmarshal(raw, &rs); err != nil {
+		fmt.Fprintf(os.Stderr, "decoding daemon results: %v\n", err)
+		return 1
+	}
+	if st, err := client.Status(ctx, created.ID); err == nil {
+		fmt.Fprintf(os.Stderr, "remote job %s: %s — %d hit / %d miss / %d shared / %d errors in %.1fs\n",
+			st.ID, st.State, st.Cells.Hit, st.Cells.Miss, st.Cells.Shared, st.Cells.Errors, st.ElapsedSec)
+	}
+	var wall float64
+	for _, r := range rs {
+		wall += r.WallSec
+	}
+	printResults(rs, wall)
+	if out != "" {
+		if err := os.WriteFile(out, raw, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (daemon response, verbatim)\n", out)
+	}
+	return 0
+}
+
+// printResults renders the shared per-scenario table plus the aggregate
+// throughput line.
+func printResults(rs []runner.Result, wall float64) {
+	var events uint64
+	fmt.Printf("%-36s %12s %10s %12s\n", "scenario", "events", "wall s", "events/s")
+	for _, r := range rs {
+		if r.Err != "" {
+			fmt.Printf("%-36s ERROR: %s\n", r.Scenario.Name, r.Err)
+			continue
+		}
+		events += r.Events
+		fmt.Printf("%-36s %12d %10.2f %12.0f\n", r.Scenario.Name, r.Events, r.WallSec, r.EventsPerSec())
+	}
+	if wall > 0 {
+		fmt.Printf("total: %d events in %.1fs wall (%.0f events/s aggregate)\n",
+			events, wall, float64(events)/wall)
+	}
+}
+
+// writeResults persists results locally (JSON or CSV by extension),
+// reporting the path like every other emit path in this binary.
+func writeResults(out string, rs []runner.Result) int {
+	if out == "" {
+		return 0
+	}
+	if err := runner.WriteFile(out, rs); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+	return 0
+}
+
+func runBenchmark(seed int64, workers int, out, topo string, burst int, churn, remote string) int {
 	var topos []string
 	for _, it := range scheme.SplitList(topo) {
 		c, err := netem.CanonicalTopology(it)
@@ -176,36 +299,25 @@ func runBenchmark(seed int64, workers int, out, topo string, burst int, churn st
 		fmt.Fprintf(os.Stderr, "-burst: budget %d out of range 0..%d\n", burst, netem.MaxBurst)
 		return 2
 	}
-	scs := benchGrid(seed, topos, churns, burst).Expand()
+	g := benchGrid(seed, topos, churns, burst)
+	if remote != "" {
+		return runRemote(remote, g, workers, out)
+	}
+	scs := g.Expand()
 	fmt.Fprintf(os.Stderr, "benchmark: %d scenarios on %d workers\n", len(scs), effectiveWorkers(workers))
 	start := time.Now()
 	rn := &runner.Runner{Workers: workers, OnProgress: runner.Progress(os.Stderr)}
 	rs := rn.Run(scs, exp.RunScenario)
 	wall := time.Since(start).Seconds()
 
-	var events uint64
 	for _, r := range rs {
-		events += r.Events
 		if r.Err != "" {
 			fmt.Fprintf(os.Stderr, "scenario %s failed: %s\n", r.Scenario.Name, r.Err)
 			return 1
 		}
 	}
-	fmt.Printf("%-36s %12s %10s %12s\n", "scenario", "events", "wall s", "events/s")
-	for _, r := range rs {
-		fmt.Printf("%-36s %12d %10.2f %12.0f\n", r.Scenario.Name, r.Events, r.WallSec, r.EventsPerSec())
-	}
-	fmt.Printf("total: %d events in %.1fs wall (%.0f events/s aggregate)\n",
-		events, wall, float64(events)/wall)
-
-	if out != "" {
-		if err := runner.WriteFile(out, rs); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
-		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", out)
-	}
-	return 0
+	printResults(rs, wall)
+	return writeResults(out, rs)
 }
 
 func effectiveWorkers(w int) int {

@@ -1,0 +1,113 @@
+// Command nimbus-svc is the experiment daemon: it accepts sweep jobs (a
+// runner.Grid as JSON) over HTTP, expands them to scenarios, and runs
+// only the cells whose content-addressed cache key misses. Results are
+// keyed by canonical scenario key + effective seed + code version, stored
+// in a two-tier cache (in-memory LRU over <cachedir>/<sha256(key)>.json),
+// and deduplicated in flight — concurrent clients submitting overlapping
+// grids share one simulation per cell. docs/service.md documents the API;
+// nimbus-bench -remote is the standard client.
+//
+// Usage:
+//
+//	nimbus-svc -listen 127.0.0.1:9037 -cachedir ~/.cache/nimbus-svc
+//	nimbus-svc -cachedir /tmp/c -workers 8 -cache-entries 16384
+//	nimbus-svc -code-version v-test     # override the build hash (tests, migrations)
+//
+// Endpoints: POST /jobs, GET /jobs/{id}, GET /jobs/{id}/events,
+// GET /jobs/{id}/results, DELETE /jobs/{id}, GET /cache/stats,
+// GET /metrics.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nimbus/internal/exp"
+	"nimbus/internal/svc"
+)
+
+func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
+	var (
+		listen       = flag.String("listen", "127.0.0.1:9037", "address to serve the HTTP API on")
+		cachedir     = flag.String("cachedir", defaultCacheDir(), "directory for the on-disk result cache (created if missing)")
+		cacheEntries = flag.Int("cache-entries", 4096, "in-memory cache tier size, entries (the disk tier is unbounded)")
+		workers      = flag.Int("workers", 0, "default per-job worker pool size (0 = all cores; jobs may override per submission)")
+		maxCells     = flag.Int("max-cells", 1_000_000, "reject grids expanding to more cells than this")
+		codeVersion  = flag.String("code-version", "", "override the cache key's code-version component (default: hash of this executable)")
+		timerWheel   = flag.Bool("timer-wheel", false, "back every scheduler with the hashed timer wheel instead of the 4-ary heap (identical results; faster under dense timer churn)")
+	)
+	flag.Parse()
+	exp.TimerWheel = *timerWheel
+
+	version := *codeVersion
+	if version == "" {
+		version = svc.CodeVersion()
+	}
+	store, err := svc.NewStore(*cachedir, *cacheEntries, version)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	logger := log.New(os.Stderr, "nimbus-svc: ", log.LstdFlags)
+	server := &svc.Server{
+		Store:    store,
+		Run:      exp.RunScenario,
+		Workers:  *workers,
+		MaxCells: *maxCells,
+		Logf:     logger.Printf,
+	}
+	server.Start()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	logger.Printf("serving on http://%s (cache %s, code version %s)", ln.Addr(), *cachedir, version)
+
+	hs := &http.Server{Handler: server.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	case <-ctx.Done():
+		logger.Printf("shutting down")
+		// In-flight requests (a long results wait, a streaming events
+		// reader) get a bounded grace period; the cache is already
+		// consistent on disk at every instant thanks to atomic writes.
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(sctx)
+	}
+	return 0
+}
+
+// defaultCacheDir puts the cache under the user cache root when known,
+// falling back to a project-local directory (useful in containers where
+// HOME is unset).
+func defaultCacheDir() string {
+	if dir, err := os.UserCacheDir(); err == nil {
+		return dir + "/nimbus-svc"
+	}
+	return ".nimbus-svc-cache"
+}

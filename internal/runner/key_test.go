@@ -55,6 +55,80 @@ func TestKeyCoversEveryField(t *testing.T) {
 	}
 }
 
+// TestCacheKeyCoversEveryField perturbs each Scenario field by reflection
+// and requires CacheKey() to change. The cache key is what the experiment
+// service stores results under, so the bar is stricter than Key()'s:
+// every field except the Name display label must reach it — including
+// RunSeed, which Key() omits (it is derived from the key) but which
+// changes what the simulation actually runs. Adding a Scenario field
+// without invalidating cached results is therefore impossible: the field
+// must flow into Key() (and hence CacheKey) or be consciously exempted
+// here AND in keyExempt.
+func TestCacheKeyCoversEveryField(t *testing.T) {
+	const version = "codev1"
+	base := Scenario{}
+	baseKey := base.CacheKey(version)
+	typ := reflect.TypeOf(base)
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		probe := base
+		fv := reflect.ValueOf(&probe).Elem().Field(i)
+		switch {
+		case f.Type == reflect.TypeOf(scheme.Spec{}):
+			fv.Set(reflect.ValueOf(scheme.MustParse("probe-scheme")))
+		case f.Type.Kind() == reflect.String:
+			fv.SetString("probe-" + f.Name)
+		case f.Type.Kind() == reflect.Float64:
+			fv.SetFloat(123.456)
+		case f.Type.Kind() == reflect.Int64 || f.Type.Kind() == reflect.Int:
+			fv.SetInt(987654321)
+		case f.Type.Kind() == reflect.Bool:
+			fv.SetBool(true)
+		default:
+			t.Fatalf("field %s has kind %s: teach this test how to perturb it", f.Name, f.Type.Kind())
+		}
+		changed := probe.CacheKey(version) != baseKey
+		if f.Name == "Name" {
+			if changed {
+				t.Errorf("display label %s changes CacheKey(); equivalent scenarios with different labels would re-simulate", f.Name)
+			}
+			continue
+		}
+		if !changed {
+			t.Errorf("field %s is not encoded in Scenario.CacheKey(): changing %s would serve a stale cached result", f.Name, f.Name)
+		}
+	}
+}
+
+// TestCacheKeyComposition pins the exact Key()/seed/codeVersion layout so
+// the on-disk cache address of every existing result is stable: a change
+// here invalidates every cache directory in the wild and must be
+// deliberate.
+func TestCacheKeyComposition(t *testing.T) {
+	sc := Scenario{RateMbps: 96, RTTms: 50, BufferMs: 100, DurationSec: 30, Seed: 7}
+	want := sc.Key() + "/7/v-abc"
+	if got := sc.CacheKey("v-abc"); got != want {
+		t.Fatalf("CacheKey = %q, want %q", got, want)
+	}
+	// RunSeed overrides the user seed in the composition: it is what the
+	// simulation actually runs with.
+	sc.RunSeed = 42
+	want = sc.Key() + "/42/v-abc"
+	if got := sc.CacheKey("v-abc"); got != want {
+		t.Fatalf("CacheKey with RunSeed = %q, want %q", got, want)
+	}
+	// A code-version change misses; a seed change misses.
+	keys := map[string]bool{
+		sc.CacheKey("v-abc"): true,
+		sc.CacheKey("v-def"): true,
+	}
+	sc.RunSeed = 43
+	keys[sc.CacheKey("v-abc")] = true
+	if len(keys) != 3 {
+		t.Fatalf("cache keys collide across code versions / run seeds: %v", keys)
+	}
+}
+
 // TestKeyDistinguishesNewAxes pins the concrete encodings of the
 // time-varying and topology axes (a regression guard beyond the
 // reflection sweep).

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -66,23 +67,56 @@ type Runner struct {
 	// number done, the total, and the result. Calls are serialized but
 	// arrive in completion order, not submission order.
 	OnProgress func(done, total int, r Result)
+	// OnCell, if set, is called after each completed run with the cell's
+	// submission index and result, under the same lock as OnProgress (so
+	// the two observe cells in the same order). It exists for callers
+	// that track per-cell state — the experiment service marks job cells
+	// done through it.
+	OnCell func(i int, r Result)
 }
+
+// IndexedRunFunc executes cell i of a grid. The index lets callers that
+// track per-cell state (the experiment service's hit/miss accounting)
+// correlate a run with its submission slot without threading that state
+// through the Scenario.
+type IndexedRunFunc func(i int, sc Scenario) Result
 
 // Run executes every scenario through run and returns results in
 // submission order, regardless of worker count or completion order.
 func (rn *Runner) Run(scs []Scenario, run RunFunc) []Result {
+	return rn.RunGrid(context.Background(), scs, func(_ int, sc Scenario) Result { return run(sc) })
+}
+
+// RunGrid is Run with cancellation: cells that have not started when ctx
+// is done are not run and report ctx's error in their Err field (cells
+// already in flight finish — a simulation is not interruptible mid-run,
+// and a completed result is worth caching). Results still come back in
+// submission order, one per scenario, for any worker count, and OnCell
+// fires for every cell — run or cancelled — so per-cell accounting always
+// reaches the total.
+func (rn *Runner) RunGrid(ctx context.Context, scs []Scenario, run IndexedRunFunc) []Result {
 	var mu sync.Mutex
 	done := 0
 	return Map(rn.Workers, len(scs), func(i int) Result {
-		start := time.Now()
-		r := runGuarded(run, scs[i])
-		if r.WallSec == 0 {
-			r.WallSec = time.Since(start).Seconds()
+		var r Result
+		if err := ctx.Err(); err != nil {
+			r = Result{Scenario: scs[i], Err: err.Error()}
+		} else {
+			start := time.Now()
+			r = runGuarded(func(sc Scenario) Result { return run(i, sc) }, scs[i])
+			if r.WallSec == 0 {
+				r.WallSec = time.Since(start).Seconds()
+			}
 		}
-		if rn.OnProgress != nil {
+		if rn.OnProgress != nil || rn.OnCell != nil {
 			mu.Lock()
 			done++
-			rn.OnProgress(done, len(scs), r)
+			if rn.OnProgress != nil {
+				rn.OnProgress(done, len(scs), r)
+			}
+			if rn.OnCell != nil {
+				rn.OnCell(i, r)
+			}
 			mu.Unlock()
 		}
 		return r
@@ -100,17 +134,28 @@ func runGuarded(run RunFunc, sc Scenario) (r Result) {
 	return run(sc)
 }
 
-// Progress returns an OnProgress callback that writes one status line per
-// completed run to w (typically os.Stderr), including the run's simulator
-// throughput in events per wall-clock second.
+// FormatProgress renders the one-line status of a completed run: position
+// in the sweep, elapsed wall-clock seconds since the sweep started, the
+// scenario name, and the run's simulator throughput in events per
+// wall-clock second (or its error). Progress prints exactly these lines;
+// the experiment service streams them per job so a remote sweep reads the
+// same as a local one.
+func FormatProgress(elapsed time.Duration, done, total int, r Result) string {
+	status := fmt.Sprintf("%.1fs %.0f ev/s", r.WallSec, r.EventsPerSec())
+	if r.Err != "" {
+		status = "ERROR: " + r.Err
+	}
+	return fmt.Sprintf("[%3d/%3d %6.1fs] %-40s %s",
+		done, total, elapsed.Seconds(), r.Scenario.Name, status)
+}
+
+// Progress returns an OnProgress callback that writes one FormatProgress
+// status line per completed run to w (typically os.Stderr). The writer is
+// the injection point: CLIs pass a terminal, the service a per-job event
+// log, tests a buffer.
 func Progress(w io.Writer) func(done, total int, r Result) {
 	start := time.Now()
 	return func(done, total int, r Result) {
-		status := fmt.Sprintf("%.1fs %.0f ev/s", r.WallSec, r.EventsPerSec())
-		if r.Err != "" {
-			status = "ERROR: " + r.Err
-		}
-		fmt.Fprintf(w, "[%3d/%3d %6.1fs] %-40s %s\n",
-			done, total, time.Since(start).Seconds(), r.Scenario.Name, status)
+		fmt.Fprintln(w, FormatProgress(time.Since(start), done, total, r))
 	}
 }

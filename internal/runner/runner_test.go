@@ -2,11 +2,13 @@ package runner
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"nimbus/internal/scheme"
 	"nimbus/internal/sim"
@@ -159,6 +161,96 @@ func TestRunnerProgressAndOrder(t *testing.T) {
 		if rs[i].Scenario.Key() != scs[i].Key() {
 			t.Fatalf("result %d out of submission order", i)
 		}
+	}
+}
+
+func TestRunGridCancel(t *testing.T) {
+	scs := testGrid().Expand()
+	ctx, cancel := context.WithCancel(context.Background())
+	started := 0
+	rs := (&Runner{Workers: 1}).RunGrid(ctx, scs, func(i int, sc Scenario) Result {
+		if i != started {
+			t.Errorf("cell %d ran out of order (want %d)", i, started)
+		}
+		started++
+		if started == 3 {
+			cancel() // cells after this one must not run
+		}
+		return fakeRun(sc)
+	})
+	if started != 3 {
+		t.Fatalf("ran %d cells after cancel, want 3", started)
+	}
+	if len(rs) != len(scs) {
+		t.Fatalf("got %d results, want one per scenario", len(rs))
+	}
+	for i, r := range rs {
+		if i < 3 {
+			if r.Err != "" {
+				t.Fatalf("completed cell %d reports error %q", i, r.Err)
+			}
+			continue
+		}
+		if r.Err != context.Canceled.Error() {
+			t.Fatalf("cancelled cell %d: err = %q, want %q", i, r.Err, context.Canceled)
+		}
+		if r.Scenario.Key() != scs[i].Key() {
+			t.Fatalf("cancelled cell %d lost its scenario", i)
+		}
+	}
+}
+
+func TestRunGridOnCell(t *testing.T) {
+	scs := testGrid().Expand()
+	got := make([]bool, len(scs))
+	rn := &Runner{Workers: 4, OnCell: func(i int, r Result) {
+		if got[i] {
+			t.Errorf("cell %d completed twice", i)
+		}
+		got[i] = true
+		if r.Scenario.Key() != scs[i].Key() {
+			t.Errorf("cell %d delivered result for wrong scenario", i)
+		}
+	}}
+	rn.RunGrid(context.Background(), scs, func(i int, sc Scenario) Result {
+		if sc.Key() != scs[i].Key() {
+			t.Errorf("cell %d handed wrong scenario", i)
+		}
+		return fakeRun(sc)
+	})
+	for i, ok := range got {
+		if !ok {
+			t.Fatalf("cell %d never reported completion", i)
+		}
+	}
+}
+
+// TestProgressWritesToInjectedWriter pins the injectable progress path:
+// every completed run emits exactly one FormatProgress line to the given
+// writer — nothing goes to stdout — so the daemon can stream a job's
+// progress and tests can assert on it.
+func TestProgressWritesToInjectedWriter(t *testing.T) {
+	scs := testGrid().Expand()[:5]
+	var buf bytes.Buffer
+	rn := &Runner{Workers: 2, OnProgress: Progress(&buf)}
+	rn.Run(scs, fakeRun)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(scs) {
+		t.Fatalf("progress wrote %d lines, want %d:\n%s", len(lines), len(scs), buf.String())
+	}
+	for i, ln := range lines {
+		if !strings.HasPrefix(ln, fmt.Sprintf("[%3d/%3d", i+1, len(scs))) {
+			t.Fatalf("line %d = %q, want ordered [done/total ...] prefix", i, ln)
+		}
+		if !strings.Contains(ln, "ev/s") {
+			t.Fatalf("line %d = %q, want events-per-second status", i, ln)
+		}
+	}
+	// The line text itself is FormatProgress verbatim.
+	r := Result{Scenario: Scenario{Name: "cell"}, Events: 100, WallSec: 2}
+	want := "[  1/  2    3.0s] cell                                     2.0s 50 ev/s"
+	if got := FormatProgress(3*time.Second, 1, 2, r); got != want {
+		t.Fatalf("FormatProgress = %q, want %q", got, want)
 	}
 }
 

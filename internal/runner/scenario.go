@@ -157,6 +157,27 @@ func (s Scenario) Key() string {
 	return key
 }
 
+// CacheKey returns the content address of this scenario's result for a
+// given simulator build: Key()/effectiveSeed/codeVersion. It is the key
+// the experiment service (internal/svc) stores results under, so the
+// composition is load-bearing:
+//
+//   - Key() covers every scenario parameter (TestKeyCoversEveryField), so
+//     two scenarios that could produce different results never share a
+//     cached entry.
+//   - EffectiveSeed() covers RunSeed, which Key() deliberately omits (it
+//     is derived from the key for Grid-expanded scenarios but may be set
+//     freely on hand-built ones) yet changes the random stream the
+//     simulation actually runs with.
+//   - codeVersion identifies the simulation code that produced the
+//     result, so a rebuild with different behavior invalidates every
+//     entry instead of serving stale results.
+//
+// TestCacheKeyCoversEveryField pins this composition by reflection.
+func (s Scenario) CacheKey(codeVersion string) string {
+	return fmt.Sprintf("%s/%d/%s", s.Key(), s.EffectiveSeed(), codeVersion)
+}
+
 // label is the human-readable name Grid.Expand assigns, listing only the
 // fields that vary.
 func (s Scenario) label(varying []string) string {

@@ -1,0 +1,169 @@
+package svc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"nimbus/internal/runner"
+)
+
+// Client is the typed consumer of a nimbus-svc daemon. The zero HTTP
+// client is usable; Base is the daemon's root URL ("http://host:port").
+// nimbus-bench -remote runs entirely through it, which is the proof that
+// the daemon and the batch CLIs produce identical results.
+type Client struct {
+	Base string
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the daemon at base.
+func NewClient(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do issues a request and decodes the JSON response into out (unless
+// nil). Non-2xx responses surface the server's error document.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return apiError(resp, path)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func apiError(resp *http.Response, path string) error {
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(b, &e) == nil && e.Error != "" {
+		return fmt.Errorf("svc: %s: %s", path, e.Error)
+	}
+	return fmt.Errorf("svc: %s: %s", path, resp.Status)
+}
+
+// Submit posts a sweep grid and returns the created job. workers 0 uses
+// the daemon's default pool size.
+func (c *Client) Submit(ctx context.Context, g runner.Grid, workers int) (JobCreated, error) {
+	var created JobCreated
+	err := c.do(ctx, http.MethodPost, "/jobs", JobRequest{Grid: g, Workers: workers}, &created)
+	return created, err
+}
+
+// Status fetches a job's status document.
+func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodGet, "/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// StreamEvents copies the job's progress lines to w as they happen,
+// returning when the job completes (or ctx/connection ends). The lines
+// are the ones runner.Progress would print locally, tagged with each
+// cell's cache outcome.
+func (c *Client) StreamEvents(ctx context.Context, id string, w io.Writer) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return apiError(resp, "/jobs/"+id+"/events")
+	}
+	_, err = io.Copy(w, resp.Body)
+	return err
+}
+
+// RawResults blocks until the job completes and returns the results
+// document exactly as the daemon emitted it. Callers that persist results
+// write these bytes verbatim: the daemon encodes with the same
+// runner.WriteJSON as the batch CLIs, so saved remote results are
+// byte-comparable to local ones.
+func (c *Client) RawResults(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/jobs/"+id+"/results", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, apiError(resp, "/jobs/"+id+"/results")
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Results is RawResults decoded into result rows.
+func (c *Client) Results(ctx context.Context, id string) ([]runner.Result, error) {
+	b, err := c.RawResults(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	var rs []runner.Result
+	if err := json.Unmarshal(b, &rs); err != nil {
+		return nil, fmt.Errorf("svc: decoding results: %w", err)
+	}
+	return rs, nil
+}
+
+// Cancel asks the daemon to stop a job; cells not yet started will not
+// run.
+func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodDelete, "/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// CacheStats fetches the store counters.
+func (c *Client) CacheStats(ctx context.Context) (StoreStats, error) {
+	var st StoreStats
+	err := c.do(ctx, http.MethodGet, "/cache/stats", nil, &st)
+	return st, err
+}
+
+// Metrics fetches the daemon-wide observability document.
+func (c *Client) Metrics(ctx context.Context) (Metrics, error) {
+	var m Metrics
+	err := c.do(ctx, http.MethodGet, "/metrics", nil, &m)
+	return m, err
+}

@@ -1,0 +1,205 @@
+package svc
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"nimbus/internal/runner"
+)
+
+// JobState is a job's position in its lifecycle.
+type JobState string
+
+const (
+	// JobRunning: cells are executing (jobs start immediately on submit;
+	// admission control is the per-job worker pool, not a serial queue,
+	// so overlapping jobs share in-flight cells through the store).
+	JobRunning JobState = "running"
+	// JobDone: every cell completed (some may carry per-cell errors).
+	JobDone JobState = "done"
+	// JobCanceled: DELETE /jobs/{id} stopped the job; cells that had not
+	// started report a canceled error, in-flight cells finished (their
+	// results are cached).
+	JobCanceled JobState = "canceled"
+)
+
+// CellCounts breaks a job's cells down by how they were (or will be)
+// satisfied. Hit+Miss+Shared+Errors+Running+Pending == Total at all
+// times.
+type CellCounts struct {
+	// Hit counts cells served from the cache (memory or disk tier).
+	Hit int `json:"hit"`
+	// Miss counts cells this job simulated.
+	Miss int `json:"miss"`
+	// Shared counts cells another in-flight job was already simulating.
+	Shared int `json:"shared"`
+	// Errors counts cells that completed with a per-cell error
+	// (malformed scenario, cancellation).
+	Errors int `json:"errors"`
+	// Running counts cells currently executing.
+	Running int `json:"running"`
+	// Pending counts cells not yet started.
+	Pending int `json:"pending"`
+}
+
+// JobStatus is the GET /jobs/{id} document.
+type JobStatus struct {
+	ID    string     `json:"id"`
+	State JobState   `json:"state"`
+	Total int        `json:"total"`
+	Done  int        `json:"done"`
+	Cells CellCounts `json:"cells"`
+	// Events is the simulator events executed by this job's misses (cache
+	// hits cost zero).
+	Events uint64 `json:"events"`
+	// ElapsedSec is wall-clock time since submission (frozen at
+	// completion).
+	ElapsedSec float64 `json:"elapsed_sec"`
+	// Err is a whole-job failure (bad grid); per-cell errors live in the
+	// results.
+	Err string `json:"err,omitempty"`
+}
+
+// Job is one submitted sweep: its expanded scenarios, per-cell progress,
+// the growing event log, and — once done — results in submission order.
+type Job struct {
+	id     string
+	scs    []runner.Scenario
+	cancel context.CancelFunc
+	start  time.Time
+
+	mu      sync.Mutex
+	cond    *sync.Cond // broadcast on any event-log or state change
+	state   JobState
+	cells   CellCounts
+	done    int
+	events  uint64
+	elapsed time.Duration // frozen on completion
+	results []runner.Result
+	log     []byte
+}
+
+func newJob(id string, scs []runner.Scenario, cancel context.CancelFunc) *Job {
+	j := &Job{id: id, scs: scs, cancel: cancel, start: time.Now(), state: JobRunning}
+	j.cells.Pending = len(scs)
+	j.cond = sync.NewCond(&j.mu)
+	return j
+}
+
+// Status snapshots the job for GET /jobs/{id}.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	elapsed := j.elapsed
+	if j.state == JobRunning {
+		elapsed = time.Since(j.start)
+	}
+	return JobStatus{
+		ID: j.id, State: j.state, Total: len(j.scs), Done: j.done,
+		Cells: j.cells, Events: j.events, ElapsedSec: elapsed.Seconds(),
+	}
+}
+
+// cellStarted moves one cell pending → running.
+func (j *Job) cellStarted() {
+	j.mu.Lock()
+	j.cells.Pending--
+	j.cells.Running++
+	j.mu.Unlock()
+}
+
+// cellFinished retires a running cell with its outcome and appends the
+// run's progress line to the event log. Cells cancelled before starting
+// come through with started=false (they were never moved to running).
+func (j *Job) cellFinished(started bool, oc Outcome, r runner.Result, line string) {
+	j.mu.Lock()
+	if started {
+		j.cells.Running--
+	} else {
+		j.cells.Pending--
+	}
+	switch {
+	case r.Err != "":
+		j.cells.Errors++
+	case oc == Miss:
+		j.cells.Miss++
+		j.events += r.Events
+	case oc == Shared:
+		j.cells.Shared++
+	default:
+		j.cells.Hit++
+	}
+	j.done++
+	j.log = append(j.log, line...)
+	j.log = append(j.log, '\n')
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// finish records the terminal state and the results (submission order).
+func (j *Job) finish(state JobState, rs []runner.Result) {
+	j.mu.Lock()
+	j.state = state
+	j.results = rs
+	j.elapsed = time.Since(j.start)
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// Results blocks until the job reaches a terminal state, then returns its
+// results (submission order, one per scenario). ctx aborts the wait.
+func (j *Job) Results(ctx context.Context) ([]runner.Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	// The broadcast takes the lock so it cannot slip into the window
+	// between a waiter's ctx check and its cond.Wait (a lost wakeup).
+	stop := context.AfterFunc(ctx, func() {
+		j.mu.Lock()
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	})
+	defer stop()
+	for j.state == JobRunning {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		j.cond.Wait()
+	}
+	return j.results, nil
+}
+
+// StreamLog writes the job's event log to emit from the beginning,
+// following appends until the job reaches a terminal state and the log is
+// drained. emit is called without the job lock held; returning an error
+// stops the stream (a disconnected client). ctx also stops it.
+func (j *Job) StreamLog(ctx context.Context, emit func(chunk []byte) error) error {
+	stop := context.AfterFunc(ctx, func() {
+		j.mu.Lock()
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	})
+	defer stop()
+	off := 0
+	for {
+		j.mu.Lock()
+		for off == len(j.log) && j.state == JobRunning && ctx.Err() == nil {
+			j.cond.Wait()
+		}
+		chunk := j.log[off:]
+		off = len(j.log)
+		terminal := j.state != JobRunning
+		j.mu.Unlock()
+		if len(chunk) > 0 {
+			if err := emit(chunk); err != nil {
+				return err
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if terminal && len(chunk) == 0 {
+			return nil
+		}
+	}
+}

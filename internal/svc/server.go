@@ -1,0 +1,324 @@
+package svc
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"nimbus/internal/runner"
+)
+
+// JobRequest is the POST /jobs body: a sweep grid plus an optional
+// per-job worker count (0 inherits the server default).
+type JobRequest struct {
+	Grid    runner.Grid `json:"grid"`
+	Workers int         `json:"workers,omitempty"`
+}
+
+// JobCreated is the POST /jobs response.
+type JobCreated struct {
+	ID string `json:"id"`
+	// Total is the number of cells the grid expanded to.
+	Total int `json:"total"`
+}
+
+// Metrics is the GET /metrics document: cache counters plus job-level
+// aggregates for observability.
+type Metrics struct {
+	Cache StoreStats `json:"cache"`
+	// JobsSubmitted / JobsDone / JobsCanceled / JobsRunning count job
+	// lifecycles since the daemon started.
+	JobsSubmitted int `json:"jobs_submitted"`
+	JobsDone      int `json:"jobs_done"`
+	JobsCanceled  int `json:"jobs_canceled"`
+	JobsRunning   int `json:"jobs_running"`
+	// CellsSimulated / SimEvents / SimWallSec aggregate the cells that
+	// actually ran (cache misses): total simulator events and the
+	// wall-clock they took, summed over cells (not elapsed time — cells
+	// run in parallel).
+	CellsSimulated int     `json:"cells_simulated"`
+	SimEvents      uint64  `json:"sim_events"`
+	SimWallSec     float64 `json:"sim_wall_sec"`
+	// EventsPerSec is SimEvents/SimWallSec: aggregate simulator
+	// throughput per worker across everything this daemon computed.
+	EventsPerSec float64 `json:"events_per_sec"`
+	UptimeSec    float64 `json:"uptime_sec"`
+}
+
+// Server owns the job table and the HTTP surface. Run is the simulation
+// entry point (cmd/nimbus-svc wires exp.RunScenario; tests wire stubs),
+// so the package never imports the experiment layer.
+type Server struct {
+	// Store caches results; required.
+	Store *Store
+	// Run executes one scenario; required.
+	Run runner.RunFunc
+	// Workers is the default per-job worker pool (0 = all cores).
+	Workers int
+	// MaxCells rejects grids expanding past this many cells (0 = the
+	// 1e6 default) so a typo'd sweep cannot OOM the daemon.
+	MaxCells int
+	// Logf, if set, receives one line per job lifecycle edge.
+	Logf func(format string, args ...any)
+
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	nextID  int
+	started time.Time
+
+	jobsDone, jobsCanceled int
+	cellsSimulated         int
+	simEvents              uint64
+	simWallSec             float64
+}
+
+// Handler returns the daemon's routing table. Every route below must be
+// documented in docs/service.md — scripts/check_docs.sh diffs this
+// function against the docs.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /jobs/{id}/results", s.handleResults)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /cache/stats", s.handleCacheStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) *Job {
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+	}
+	return j
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad job request: %v", err)
+		return
+	}
+	scs := req.Grid.Expand()
+	if len(scs) == 0 {
+		httpError(w, http.StatusBadRequest, "grid expanded to no scenarios")
+		return
+	}
+	maxCells := s.MaxCells
+	if maxCells == 0 {
+		maxCells = 1_000_000
+	}
+	if len(scs) > maxCells {
+		httpError(w, http.StatusBadRequest, "grid expanded to %d cells (limit %d)", len(scs), maxCells)
+		return
+	}
+	workers := req.Workers
+	if workers == 0 {
+		workers = s.Workers
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	s.mu.Lock()
+	s.nextID++
+	id := strconv.Itoa(s.nextID)
+	j := newJob(id, scs, cancel)
+	if s.jobs == nil {
+		s.jobs = map[string]*Job{}
+	}
+	s.jobs[id] = j
+	s.mu.Unlock()
+
+	s.logf("job %s: submitted, %d cells, %d workers", id, len(scs), workers)
+	go s.runJob(ctx, j, workers)
+	writeJSON(w, http.StatusAccepted, JobCreated{ID: id, Total: len(scs)})
+}
+
+// runJob executes a job's cells through the store: hits cost a lookup,
+// misses simulate (deduplicated across concurrent jobs by the store's
+// singleflight), and every completion appends the progress line a local
+// runner would print, tagged with how the cell was satisfied.
+func (s *Server) runJob(ctx context.Context, j *Job, workers int) {
+	start := time.Now()
+	n := len(j.scs)
+	// Written by the cell's own worker in the run closure, read by OnCell
+	// for the same index in the same goroutine afterwards — no races.
+	outcomes := make([]Outcome, n)
+	started := make([]bool, n)
+	done := 0 // OnCell calls are serialized by the runner
+	rn := &runner.Runner{Workers: workers}
+	rn.OnCell = func(i int, r runner.Result) {
+		done++
+		label := outcomes[i].String()
+		if !started[i] {
+			label = "canceled"
+		}
+		line := fmt.Sprintf("%s  [%s]", runner.FormatProgress(time.Since(start), done, n, r), label)
+		j.cellFinished(started[i], outcomes[i], r, line)
+		if started[i] && outcomes[i] == Miss && r.Err == "" {
+			s.mu.Lock()
+			s.cellsSimulated++
+			s.simEvents += r.Events
+			s.simWallSec += r.WallSec
+			s.mu.Unlock()
+		}
+	}
+	rs := rn.RunGrid(ctx, j.scs, func(i int, sc runner.Scenario) runner.Result {
+		started[i] = true
+		j.cellStarted()
+		r, oc := s.Store.GetOrRun(ctx, s.Store.Key(sc), func() runner.Result {
+			// Guard panics here, not just in the runner: a panicking
+			// scenario must still settle the store's flight, or every
+			// job sharing this cell would hang.
+			t0 := time.Now()
+			r := guardedRun(s.Run, sc)
+			if r.WallSec == 0 {
+				r.WallSec = time.Since(t0).Seconds()
+			}
+			return r
+		})
+		outcomes[i] = oc
+		return r
+	})
+	state := JobDone
+	if ctx.Err() != nil {
+		state = JobCanceled
+	}
+	j.finish(state, rs)
+	s.mu.Lock()
+	if state == JobCanceled {
+		s.jobsCanceled++
+	} else {
+		s.jobsDone++
+	}
+	s.mu.Unlock()
+	st := j.Status()
+	s.logf("job %s: %s in %.1fs — %d hit / %d miss / %d shared / %d errors",
+		j.id, state, st.ElapsedSec, st.Cells.Hit, st.Cells.Miss, st.Cells.Shared, st.Cells.Errors)
+}
+
+// guardedRun converts a panicking scenario into an error row, mirroring
+// the runner's own guard.
+func guardedRun(run runner.RunFunc, sc runner.Scenario) (r runner.Result) {
+	defer func() {
+		if p := recover(); p != nil {
+			r = runner.Result{Scenario: sc, Err: fmt.Sprint(p)}
+		}
+	}()
+	return run(sc)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j := s.job(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	flusher, _ := w.(http.Flusher)
+	j.StreamLog(r.Context(), func(chunk []byte) error {
+		if _, err := w.Write(chunk); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+}
+
+// handleResults blocks until the job completes, then emits the merged
+// results with runner.WriteJSON — the same encoder the batch CLIs use, so
+// for the same grid and seed the response is byte-identical to a local
+// nimbus-bench run (the acceptance contract nimbus-bench -remote and the
+// CI smoke verify).
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	rs, err := j.Results(r.Context())
+	if err != nil {
+		// The client went away while waiting; nothing useful to write.
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	runner.WriteJSON(w, rs)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	j.cancel()
+	s.logf("job %s: cancel requested", j.id)
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Store.Stats())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	m := Metrics{
+		Cache:          s.Store.Stats(),
+		JobsSubmitted:  s.nextID,
+		JobsDone:       s.jobsDone,
+		JobsCanceled:   s.jobsCanceled,
+		JobsRunning:    s.nextID - s.jobsDone - s.jobsCanceled,
+		CellsSimulated: s.cellsSimulated,
+		SimEvents:      s.simEvents,
+		SimWallSec:     s.simWallSec,
+	}
+	if !s.started.IsZero() {
+		m.UptimeSec = time.Since(s.started).Seconds()
+	}
+	s.mu.Unlock()
+	if m.SimWallSec > 0 {
+		m.EventsPerSec = float64(m.SimEvents) / m.SimWallSec
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+// Start stamps the uptime epoch; callers serving Handler() over a real
+// listener call it once at boot.
+func (s *Server) Start() {
+	s.mu.Lock()
+	s.started = time.Now()
+	s.mu.Unlock()
+}

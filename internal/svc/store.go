@@ -1,0 +1,330 @@
+// Package svc is the experiment service: a long-running daemon that
+// accepts sweep jobs (a runner.Grid over HTTP/JSON), expands them to
+// scenarios, and simulates only the cells whose results are not already
+// cached. Results are content-addressed by runner.Scenario.CacheKey —
+// canonical scenario key, effective seed, and the simulator's code
+// version — the same idea named-data networks use to make data
+// location-independent and shareable: any client submitting an
+// overlapping grid hits the same cache entries, and concurrent
+// submissions of the same cell share one in-flight simulation.
+//
+// The package splits into four pieces: Store (two-tier result cache),
+// Job (one submitted sweep and its progress), Server (the HTTP surface,
+// cmd/nimbus-svc wires it to exp.RunScenario), and Client (the typed
+// consumer, used by nimbus-bench -remote). Server takes its RunFunc as
+// configuration so the package — and its tests — stay free of the
+// experiment layer.
+package svc
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"nimbus/internal/runner"
+)
+
+// Outcome says where GetOrRun found (or put) a result.
+type Outcome int
+
+const (
+	// Miss: no usable cached result; this caller ran the simulation.
+	Miss Outcome = iota
+	// HitMem: served from the in-memory LRU tier.
+	HitMem
+	// HitDisk: served from the on-disk tier (and promoted to memory).
+	HitDisk
+	// Shared: another caller was already simulating this key; this one
+	// waited and shares its result without running anything.
+	Shared
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case HitMem:
+		return "hit-mem"
+	case HitDisk:
+		return "hit-disk"
+	case Shared:
+		return "shared"
+	}
+	return "miss"
+}
+
+// Hit reports whether the outcome avoided running a simulation.
+func (o Outcome) Hit() bool { return o != Miss }
+
+// StoreStats is a snapshot of the cache counters (GET /cache/stats).
+type StoreStats struct {
+	// MemHits / DiskHits / Misses / Shared count GetOrRun outcomes.
+	MemHits  uint64 `json:"mem_hits"`
+	DiskHits uint64 `json:"disk_hits"`
+	Misses   uint64 `json:"misses"`
+	Shared   uint64 `json:"shared"`
+	// Evictions counts entries dropped from the memory tier (the disk
+	// copy survives eviction).
+	Evictions uint64 `json:"evictions"`
+	// Corrupt counts disk entries rejected as unreadable — truncated
+	// writes, foreign files, key mismatches — each treated as a miss and
+	// rewritten.
+	Corrupt uint64 `json:"corrupt"`
+	// Inflight is the number of simulations currently running.
+	Inflight int `json:"inflight"`
+	// MemEntries is the current size of the memory tier.
+	MemEntries int `json:"mem_entries"`
+	// CodeVersion is the version component of every key this store
+	// composes.
+	CodeVersion string `json:"code_version"`
+}
+
+// entry is the on-disk envelope. Storing the full key (not just its hash)
+// makes corruption and hash collisions detectable on read: an entry whose
+// recorded key differs from the requested one is rejected as corrupt.
+type entry struct {
+	Key    string        `json:"key"`
+	Result runner.Result `json:"result"`
+}
+
+// flight is one in-progress simulation that concurrent callers of the
+// same key wait on.
+type flight struct {
+	done chan struct{}
+	r    runner.Result
+}
+
+// Store is the two-tier content-addressed result cache: an in-memory LRU
+// over an on-disk directory of <sha256(key)>.json files. Disk writes are
+// atomic (temp file + rename in the same directory), so readers — and
+// crashed writers — never observe a partial entry; unreadable entries are
+// treated as misses and rewritten. GetOrRun deduplicates concurrent
+// computes per key, so N clients submitting the same cell cost one
+// simulation.
+type Store struct {
+	dir         string
+	codeVersion string
+	maxEntries  int
+
+	mu       sync.Mutex
+	lru      *list.List // of *memEntry; front is most recent
+	byKey    map[string]*list.Element
+	inflight map[string]*flight
+	stats    StoreStats
+}
+
+type memEntry struct {
+	key string
+	r   runner.Result
+}
+
+// NewStore opens (creating if needed) the cache directory. maxEntries
+// bounds the memory tier only — the disk tier is bounded by the
+// filesystem and pruned by deleting files (safe at any time; the store
+// re-reads or re-simulates). maxEntries <= 0 selects a default of 4096.
+func NewStore(dir string, maxEntries int, codeVersion string) (*Store, error) {
+	if codeVersion == "" {
+		return nil, fmt.Errorf("svc: empty code version would let a rebuild serve stale results")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("svc: cache dir: %w", err)
+	}
+	if maxEntries <= 0 {
+		maxEntries = 4096
+	}
+	return &Store{
+		dir:         dir,
+		codeVersion: codeVersion,
+		maxEntries:  maxEntries,
+		lru:         list.New(),
+		byKey:       map[string]*list.Element{},
+		inflight:    map[string]*flight{},
+	}, nil
+}
+
+// Key composes the cache key for a scenario under this store's code
+// version (runner.Scenario.CacheKey).
+func (s *Store) Key(sc runner.Scenario) string {
+	return sc.CacheKey(s.codeVersion)
+}
+
+// Path returns the on-disk address of a key: <dir>/<sha256(key)>.json.
+func (s *Store) Path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(s.dir, hex.EncodeToString(sum[:])+".json")
+}
+
+// GetOrRun returns the cached result for key, or runs run() exactly once
+// across all concurrent callers of the same key and caches its result.
+// Error results (Result.Err != "") are returned but never cached: a
+// malformed scenario stays an error, but a transient failure is not
+// pinned forever. ctx cancels the wait of a sharing caller (the caller
+// actually running the simulation completes it — a finished result is
+// worth caching).
+func (s *Store) GetOrRun(ctx context.Context, key string, run func() runner.Result) (runner.Result, Outcome) {
+	s.mu.Lock()
+	// Memory tier.
+	if el, ok := s.byKey[key]; ok {
+		s.lru.MoveToFront(el)
+		r := el.Value.(*memEntry).r
+		s.stats.MemHits++
+		s.mu.Unlock()
+		return r, HitMem
+	}
+	// Someone else is already computing this key: wait and share.
+	if fl, ok := s.inflight[key]; ok {
+		s.stats.Shared++
+		s.mu.Unlock()
+		select {
+		case <-fl.done:
+			return fl.r, Shared
+		case <-ctx.Done():
+			return runner.Result{Err: ctx.Err().Error()}, Shared
+		}
+	}
+	// Take the singleflight slot before touching disk, so two callers
+	// never both read (or both re-simulate) the same entry.
+	fl := &flight{done: make(chan struct{})}
+	s.inflight[key] = fl
+	s.stats.Inflight++
+	s.mu.Unlock()
+
+	if r, ok := s.readDisk(key); ok {
+		s.settle(key, fl, r, true, HitDisk)
+		return r, HitDisk
+	}
+
+	r := run()
+	if r.Err == "" {
+		if err := s.writeDisk(key, r); err != nil {
+			// The result is still good; only persistence failed. Serve
+			// it (and keep it in memory) rather than failing the cell.
+			fmt.Fprintf(os.Stderr, "svc: cache write for %s: %v\n", s.Path(key), err)
+		}
+	}
+	s.settle(key, fl, r, r.Err == "", Miss)
+	return r, Miss
+}
+
+// Get returns the cached result for key without computing anything:
+// memory first, then disk (promoting to memory). It does not wait for
+// in-flight computes.
+func (s *Store) Get(key string) (runner.Result, bool) {
+	s.mu.Lock()
+	if el, ok := s.byKey[key]; ok {
+		s.lru.MoveToFront(el)
+		r := el.Value.(*memEntry).r
+		s.stats.MemHits++
+		s.mu.Unlock()
+		return r, true
+	}
+	s.mu.Unlock()
+	r, ok := s.readDisk(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !ok {
+		s.stats.Misses++
+		return runner.Result{}, false
+	}
+	s.stats.DiskHits++
+	s.insertLocked(key, r)
+	return r, true
+}
+
+// settle publishes a flight's result to waiters, records the outcome,
+// inserts into the memory tier when the result is cacheable, and releases
+// the singleflight slot.
+func (s *Store) settle(key string, fl *flight, r runner.Result, cache bool, oc Outcome) {
+	fl.r = r
+	close(fl.done)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.inflight, key)
+	s.stats.Inflight--
+	if cache {
+		s.insertLocked(key, r)
+	}
+	if oc == HitDisk {
+		s.stats.DiskHits++
+	} else {
+		s.stats.Misses++
+	}
+}
+
+// insertLocked adds a result to the memory tier, evicting from the cold
+// end past maxEntries. Callers hold s.mu.
+func (s *Store) insertLocked(key string, r runner.Result) {
+	if el, ok := s.byKey[key]; ok {
+		s.lru.MoveToFront(el)
+		el.Value.(*memEntry).r = r
+		return
+	}
+	s.byKey[key] = s.lru.PushFront(&memEntry{key: key, r: r})
+	for s.lru.Len() > s.maxEntries {
+		cold := s.lru.Back()
+		delete(s.byKey, cold.Value.(*memEntry).key)
+		s.lru.Remove(cold)
+		s.stats.Evictions++
+	}
+}
+
+// readDisk loads a key's entry from the disk tier. Any failure —
+// missing, truncated, unparseable, or recorded under a different key —
+// is a miss; corrupt entries are counted and will be overwritten by the
+// next writeDisk.
+func (s *Store) readDisk(key string) (runner.Result, bool) {
+	b, err := os.ReadFile(s.Path(key))
+	if err != nil {
+		return runner.Result{}, false
+	}
+	var e entry
+	if json.Unmarshal(b, &e) != nil || e.Key != key {
+		s.mu.Lock()
+		s.stats.Corrupt++
+		s.mu.Unlock()
+		return runner.Result{}, false
+	}
+	return e.Result, true
+}
+
+// writeDisk persists an entry atomically: marshal, write to a temp file
+// in the cache directory, fsync-free rename onto the content address.
+// Readers see the old bytes or the new bytes, never a prefix.
+func (s *Store) writeDisk(key string, r runner.Result) error {
+	b, err := json.Marshal(entry{Key: key, Result: r})
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, ".put-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), s.Path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// Stats snapshots the counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.MemEntries = s.lru.Len()
+	st.CodeVersion = s.codeVersion
+	return st
+}

@@ -1,0 +1,65 @@
+package svc
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"runtime/debug"
+	"sync"
+)
+
+// CodeVersion identifies the simulation code baked into this process, for
+// use as the third component of every cache key: a result simulated by
+// one build must never be served by a build that could produce different
+// bytes. It is the SHA-256 of the running executable — the strictest
+// cheap proxy for "the compiled simulation packages": any code change
+// (including embedded trace corpora, which feed results) produces a new
+// binary and so a new version, while editing docs, scripts, or CI leaves
+// the binary and every cached result valid. Rebuilding identical sources
+// with a different toolchain also rolls the version; that over-invalidates
+// but never serves stale results, the failure mode that matters.
+//
+// When the executable cannot be read (some container images unlink it),
+// the module's VCS revision from build info stands in; failing that, a
+// per-process unique string disables cross-restart caching entirely
+// rather than guessing. cmd/nimbus-svc's -code-version flag overrides the
+// computed value for tests and controlled cache migrations.
+func CodeVersion() string {
+	codeVersionOnce.Do(func() { codeVersion = computeCodeVersion() })
+	return codeVersion
+}
+
+var (
+	codeVersionOnce sync.Once
+	codeVersion     string
+)
+
+func computeCodeVersion() string {
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			defer f.Close()
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				return "exe-" + hex.EncodeToString(h.Sum(nil))[:16]
+			}
+		}
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		rev, modified := "", ""
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				modified = s.Value
+			}
+		}
+		// A dirty checkout's revision does not identify its code.
+		if rev != "" && modified != "true" {
+			return "vcs-" + rev
+		}
+	}
+	return fmt.Sprintf("pid-%d-unversioned", os.Getpid())
+}

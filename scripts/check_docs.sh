@@ -8,9 +8,12 @@
 #     documentation or the build fails.
 #   - Every experiment family in exp.Families (internal/exp/registry.go)
 #     must have a "## family" section in docs/experiments.md.
+#   - Every HTTP route the service daemon registers (internal/svc/server.go)
+#     must be mentioned verbatim ("METHOD /path") in docs/service.md.
 #
 # Flags are extracted from flag.String/Bool/Int/... call sites, families
-# from the Families literal, so the source of truth stays the code.
+# from the Families literal, routes from mux.HandleFunc patterns, so the
+# source of truth stays the code.
 set -euo pipefail
 
 root=${1:-$(dirname "$0")/..}
@@ -57,6 +60,26 @@ for fam in $families; do
 done
 n=$(echo "$families" | wc -l)
 echo "check_docs: $n experiment families checked against docs/experiments.md"
+
+# --- every service route is documented -------------------------------
+
+routes=$(grep -oE 'mux\.HandleFunc\("[A-Z]+ [^"]+"' internal/svc/server.go |
+    sed -E 's/.*"([^"]+)"?/\1/' | sort -u || true)
+if [ -z "$routes" ]; then
+    echo "check_docs: found no mux.HandleFunc routes in internal/svc/server.go — extraction broken?" >&2
+    exit 1
+fi
+
+while IFS= read -r route; do
+    if ! grep -qF -- "$route" docs/service.md; then
+        echo "check_docs: FAIL — route \"$route\" (internal/svc/server.go) is not mentioned in docs/service.md" >&2
+        fail=1
+    fi
+done <<EOF
+$routes
+EOF
+n=$(echo "$routes" | wc -l)
+echo "check_docs: $n service routes checked against docs/service.md"
 
 [ "$fail" -eq 0 ] && echo "check_docs: OK"
 exit "$fail"
