@@ -205,6 +205,9 @@ func runGridFile(path, remote string, workers int, out string) int {
 func runRemote(base string, g runner.Grid, workers int, out string) int {
 	ctx := context.Background()
 	client := svc.NewClient(base)
+	// Self-healing: back off on load-shed 429s and resume the event
+	// stream across a daemon restart instead of failing the sweep.
+	client.Retry = svc.DefaultRetry
 	created, err := client.Submit(ctx, g, workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

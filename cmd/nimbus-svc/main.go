@@ -7,15 +7,23 @@
 // grids share one simulation per cell. docs/service.md documents the API;
 // nimbus-bench -remote is the standard client.
 //
+// The daemon is crash-safe: every job submission is journaled
+// (write-ahead) to <cachedir>/journal/wal before it starts, and on boot
+// the journal is replayed — jobs pending at a crash resume, completed
+// ids keep answering. -fsync makes journal and cache writes durable
+// before acknowledgment; -failpoints injects faults for chaos testing.
+//
 // Usage:
 //
 //	nimbus-svc -listen 127.0.0.1:9037 -cachedir ~/.cache/nimbus-svc
 //	nimbus-svc -cachedir /tmp/c -workers 8 -cache-entries 16384
 //	nimbus-svc -code-version v-test     # override the build hash (tests, migrations)
+//	nimbus-svc -fsync -cell-timeout 5m -max-jobs 64
+//	nimbus-svc -failpoints 'disk-write=err:0.5,cell-run=hang:1'   # chaos testing
 //
 // Endpoints: POST /jobs, GET /jobs/{id}, GET /jobs/{id}/events,
 // GET /jobs/{id}/results, DELETE /jobs/{id}, GET /cache/stats,
-// GET /metrics.
+// GET /metrics, GET /healthz, GET /readyz.
 package main
 
 import (
@@ -28,10 +36,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"nimbus/internal/exp"
+	"nimbus/internal/fault"
 	"nimbus/internal/svc"
 )
 
@@ -48,9 +58,27 @@ func realMain() int {
 		maxCells     = flag.Int("max-cells", 1_000_000, "reject grids expanding to more cells than this")
 		codeVersion  = flag.String("code-version", "", "override the cache key's code-version component (default: hash of this executable)")
 		timerWheel   = flag.Bool("timer-wheel", false, "back every scheduler with the hashed timer wheel instead of the 4-ary heap (identical results; faster under dense timer churn)")
+		fsync        = flag.Bool("fsync", false, "fsync journal appends and cache writes before acknowledging (crash-durable; slower)")
+		failpoints   = flag.String("failpoints", "", "comma-separated fault injections, e.g. 'disk-write=err:0.5,cell-run=hang:1' (also via NIMBUS_FAILPOINTS; chaos testing only)")
+		cellTimeout  = flag.Duration("cell-timeout", 0, "per-cell watchdog: reap a cell still simulating after this long (0 = no watchdog)")
+		maxJobs      = flag.Int("max-jobs", 0, "shed new submissions with 429 while this many jobs are running (0 = unbounded)")
+		maxInflight  = flag.Int("max-inflight-cells", 0, "shed new submissions while this many cells are simulating (0 = unbounded)")
 	)
 	flag.Parse()
 	exp.TimerWheel = *timerWheel
+
+	logger := log.New(os.Stderr, "nimbus-svc: ", log.LstdFlags)
+	spec := *failpoints
+	if spec == "" {
+		spec = os.Getenv("NIMBUS_FAILPOINTS")
+	}
+	if spec != "" {
+		if err := fault.Set(spec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		logger.Printf("FAULT INJECTION ARMED: %s", spec)
+	}
 
 	version := *codeVersion
 	if version == "" {
@@ -61,16 +89,31 @@ func realMain() int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
+	store.Fsync = *fsync
 
-	logger := log.New(os.Stderr, "nimbus-svc: ", log.LstdFlags)
+	journal, records, err := svc.OpenJournal(filepath.Join(*cachedir, "journal"), *fsync)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer journal.Close()
+
 	server := &svc.Server{
-		Store:    store,
-		Run:      exp.RunScenario,
-		Workers:  *workers,
-		MaxCells: *maxCells,
-		Logf:     logger.Printf,
+		Store:            store,
+		Run:              exp.RunScenario,
+		Workers:          *workers,
+		MaxCells:         *maxCells,
+		Journal:          journal,
+		CellTimeout:      *cellTimeout,
+		MaxJobs:          *maxJobs,
+		MaxInflightCells: *maxInflight,
+		Logf:             logger.Printf,
 	}
 	server.Start()
+	if n := server.Replay(records); n > 0 {
+		logger.Printf("journal: replayed %d job(s) from %d record(s)", n, len(records))
+	}
+	server.SetReady()
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -79,7 +122,12 @@ func realMain() int {
 	}
 	logger.Printf("serving on http://%s (cache %s, code version %s)", ln.Addr(), *cachedir, version)
 
-	hs := &http.Server{Handler: server.Handler()}
+	hs := &http.Server{
+		Handler: server.Handler(),
+		// Bounds how long a client may dribble headers, so stalled or
+		// hostile connections cannot pin accept slots forever.
+		ReadHeaderTimeout: 5 * time.Second,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)

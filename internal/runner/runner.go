@@ -63,6 +63,13 @@ type RunFunc func(sc Scenario) Result
 type Runner struct {
 	// Workers is the pool size; 0 means DefaultWorkers, 1 is sequential.
 	Workers int
+	// CellTimeout, when > 0, bounds each cell's wall-clock time: a cell
+	// still running after the timeout is reaped into an error row
+	// ("watchdog: ...") and the sweep moves on. The reaped cell's
+	// goroutine is released through the context RunWatched hands it;
+	// a run function that ignores that context keeps running detached
+	// (Go cannot kill goroutines) but no longer blocks the sweep.
+	CellTimeout time.Duration
 	// OnProgress, if set, is called after each completed run with the
 	// number done, the total, and the result. Calls are serialized but
 	// arrive in completion order, not submission order.
@@ -103,7 +110,13 @@ func (rn *Runner) RunGrid(ctx context.Context, scs []Scenario, run IndexedRunFun
 			r = Result{Scenario: scs[i], Err: err.Error()}
 		} else {
 			start := time.Now()
-			r = runGuarded(func(sc Scenario) Result { return run(i, sc) }, scs[i])
+			if rn.CellTimeout > 0 {
+				r, _ = RunWatched(ctx, scs[i], rn.CellTimeout, func(context.Context) Result {
+					return runGuarded(func(sc Scenario) Result { return run(i, sc) }, scs[i])
+				})
+			} else {
+				r = runGuarded(func(sc Scenario) Result { return run(i, sc) }, scs[i])
+			}
 			if r.WallSec == 0 {
 				r.WallSec = time.Since(start).Seconds()
 			}
@@ -121,6 +134,45 @@ func (rn *Runner) RunGrid(ctx context.Context, scs []Scenario, run IndexedRunFun
 		}
 		return r
 	})
+}
+
+// RunWatched executes run on its own goroutine under a wall-clock
+// watchdog. If run returns within timeout, its result comes back with
+// reaped=false. Otherwise the cell is reaped: RunWatched cancels the
+// context it handed run — releasing any run function that honors it
+// (blocking IO, injected hangs) so the goroutine exits — and returns an
+// error row naming the watchdog, with reaped=true. A run function that
+// ignores the context keeps running detached; its eventual result is
+// discarded.
+//
+// timeout <= 0 disables the watchdog and runs inline. Panics in run are
+// converted to error rows either way, so a watched goroutine can never
+// tear the process down.
+//
+// This is the primitive the experiment service wraps around each cell
+// inside the store's singleflight: when a cell hangs, the watchdog's
+// error row settles the flight, so every job waiting on that cell is
+// released with the error instead of blocking forever.
+func RunWatched(ctx context.Context, sc Scenario, timeout time.Duration, run func(ctx context.Context) Result) (r Result, reaped bool) {
+	guarded := func(cctx context.Context) Result {
+		return runGuarded(func(Scenario) Result { return run(cctx) }, sc)
+	}
+	if timeout <= 0 {
+		return guarded(ctx), false
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan Result, 1)
+	go func() { ch <- guarded(cctx) }()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case r = <-ch:
+		return r, false
+	case <-timer.C:
+		cancel() // release a context-aware run so its goroutine exits
+		return Result{Scenario: sc, Err: fmt.Sprintf("watchdog: cell exceeded %v", timeout)}, true
+	}
 }
 
 // runGuarded converts a panicking scenario (unknown scheme, bad AQM) into

@@ -78,6 +78,12 @@ type Job struct {
 	elapsed time.Duration // frozen on completion
 	results []runner.Result
 	log     []byte
+	// lineOff[i] is the byte offset where progress line i starts in log.
+	// StreamLog's ?from=N resume support maps a line count to a byte
+	// offset through it; line counts (unlike byte offsets) survive a
+	// daemon restart, because a replayed job re-emits the same number of
+	// lines even though their text (tags, timings) differs.
+	lineOff []int
 }
 
 func newJob(id string, scs []runner.Scenario, cancel context.CancelFunc) *Job {
@@ -131,6 +137,7 @@ func (j *Job) cellFinished(started bool, oc Outcome, r runner.Result, line strin
 		j.cells.Hit++
 	}
 	j.done++
+	j.lineOff = append(j.lineOff, len(j.log))
 	j.log = append(j.log, line...)
 	j.log = append(j.log, '\n')
 	j.cond.Broadcast()
@@ -169,18 +176,31 @@ func (j *Job) Results(ctx context.Context) ([]runner.Result, error) {
 	return j.results, nil
 }
 
-// StreamLog writes the job's event log to emit from the beginning,
-// following appends until the job reaches a terminal state and the log is
-// drained. emit is called without the job lock held; returning an error
-// stops the stream (a disconnected client). ctx also stops it.
-func (j *Job) StreamLog(ctx context.Context, emit func(chunk []byte) error) error {
+// StreamLog writes the job's event log to emit, skipping the first from
+// complete lines, then following appends until the job reaches a
+// terminal state and the log is drained. from=0 streams from the
+// beginning; a resuming client passes the number of lines it already
+// delivered, so the stream neither drops nor duplicates progress lines
+// across a reconnect. If from lines have not been emitted yet, StreamLog
+// waits until they are (or the job ends). emit is called without the job
+// lock held; returning an error stops the stream (a disconnected
+// client). ctx also stops it.
+func (j *Job) StreamLog(ctx context.Context, from int, emit func(chunk []byte) error) error {
 	stop := context.AfterFunc(ctx, func() {
 		j.mu.Lock()
 		j.cond.Broadcast()
 		j.mu.Unlock()
 	})
 	defer stop()
-	off := 0
+	j.mu.Lock()
+	for len(j.lineOff) < from && j.state == JobRunning && ctx.Err() == nil {
+		j.cond.Wait()
+	}
+	off := len(j.log) // from past the end: resume at the live tail
+	if from < len(j.lineOff) {
+		off = j.lineOff[from]
+	}
+	j.mu.Unlock()
 	for {
 		j.mu.Lock()
 		for off == len(j.log) && j.state == JobRunning && ctx.Err() == nil {

@@ -3,12 +3,15 @@ package svc
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"nimbus/internal/fault"
 	"nimbus/internal/runner"
 )
 
@@ -27,7 +30,8 @@ type JobCreated struct {
 }
 
 // Metrics is the GET /metrics document: cache counters plus job-level
-// aggregates for observability.
+// aggregates and fault-tolerance counters for observability (the chaos
+// CI job asserts on the latter).
 type Metrics struct {
 	Cache StoreStats `json:"cache"`
 	// JobsSubmitted / JobsDone / JobsCanceled / JobsRunning count job
@@ -47,6 +51,19 @@ type Metrics struct {
 	// throughput per worker across everything this daemon computed.
 	EventsPerSec float64 `json:"events_per_sec"`
 	UptimeSec    float64 `json:"uptime_sec"`
+	// DiskErrors aggregates IO failures across the store's disk tier and
+	// the job journal. Nonzero means the daemon is degraded (serving by
+	// simulating, journaling best-effort), not failing.
+	DiskErrors uint64 `json:"disk_errors"`
+	// WatchdogKills counts cells reaped by the per-cell watchdog.
+	WatchdogKills int `json:"watchdog_kills"`
+	// JobsShed counts submissions rejected with 429 under overload.
+	JobsShed int `json:"jobs_shed"`
+	// JournalReplayed counts jobs rebuilt from the journal at startup.
+	JournalReplayed int `json:"journal_replayed"`
+	// EventsResumed counts event streams that reconnected with ?from=N
+	// (clients riding through a restart or connection loss).
+	EventsResumed int `json:"events_resumed"`
 }
 
 // Server owns the job table and the HTTP surface. Run is the simulation
@@ -62,8 +79,26 @@ type Server struct {
 	// MaxCells rejects grids expanding past this many cells (0 = the
 	// 1e6 default) so a typo'd sweep cannot OOM the daemon.
 	MaxCells int
+	// Journal, when set, records every job lifecycle edge (write-ahead on
+	// submit) and is what Replay rebuilds the table from after a restart.
+	// nil runs journal-less: jobs die with the process, as before.
+	Journal *Journal
+	// CellTimeout, when > 0, is the per-cell watchdog: a cell still
+	// simulating after this wall-clock bound is reaped into an error row,
+	// its singleflight waiters are released with that error, and the job
+	// moves on. 0 disables the watchdog.
+	CellTimeout time.Duration
+	// MaxJobs, when > 0, sheds new submissions with 429 + Retry-After
+	// while this many jobs are running — load shedding instead of
+	// collapse. 0 is unbounded.
+	MaxJobs int
+	// MaxInflightCells, when > 0, sheds new submissions while the store
+	// has at least this many simulations in flight. 0 is unbounded.
+	MaxInflightCells int
 	// Logf, if set, receives one line per job lifecycle edge.
 	Logf func(format string, args ...any)
+
+	ready atomic.Bool
 
 	mu      sync.Mutex
 	jobs    map[string]*Job
@@ -74,7 +109,17 @@ type Server struct {
 	cellsSimulated         int
 	simEvents              uint64
 	simWallSec             float64
+
+	watchdogKills   int
+	jobsShed        int
+	journalReplayed int
+	eventsResumed   int
 }
+
+// maxJobBody bounds the POST /jobs request body: large enough for any
+// sane grid document, small enough that a hostile client cannot balloon
+// daemon memory with one request.
+const maxJobBody = 8 << 20
 
 // Handler returns the daemon's routing table. Every route below must be
 // documented in docs/service.md — scripts/check_docs.sh diffs this
@@ -88,6 +133,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /cache/stats", s.handleCacheStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
 }
 
@@ -120,10 +167,16 @@ func (s *Server) job(w http.ResponseWriter, r *http.Request) *Job {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxJobBody)
 	var req JobRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, "job request exceeds %d bytes", tooBig.Limit)
+			return
+		}
 		httpError(w, http.StatusBadRequest, "bad job request: %v", err)
 		return
 	}
@@ -138,6 +191,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(scs) > maxCells {
 		httpError(w, http.StatusBadRequest, "grid expanded to %d cells (limit %d)", len(scs), maxCells)
+		return
+	}
+	if reason := s.shed(); reason != "" {
+		// Load shedding, not collapse: tell the client when to come back
+		// instead of queueing unboundedly and degrading every job.
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "overloaded: %s; retry later", reason)
 		return
 	}
 	workers := req.Workers
@@ -156,9 +216,53 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.jobs[id] = j
 	s.mu.Unlock()
 
+	// Write-ahead: the submission is journaled before the job starts, so
+	// a crash at any later point replays it.
+	s.appendJournal(Record{Type: recSubmit, ID: id, Grid: &req.Grid, Workers: req.Workers})
 	s.logf("job %s: submitted, %d cells, %d workers", id, len(scs), workers)
 	go s.runJob(ctx, j, workers)
 	writeJSON(w, http.StatusAccepted, JobCreated{ID: id, Total: len(scs)})
+}
+
+// shed decides whether to reject a new submission under overload,
+// returning a human-readable reason (empty = admit). Both bounds are
+// soft admission checks, not hard guarantees — two racing submissions
+// may both pass — which is fine: the point is a bounded queue, not an
+// exact one.
+func (s *Server) shed() string {
+	if s.MaxJobs > 0 {
+		s.mu.Lock()
+		running := s.nextID - s.jobsDone - s.jobsCanceled
+		s.mu.Unlock()
+		if running >= s.MaxJobs {
+			s.countShed()
+			return fmt.Sprintf("%d jobs already running (limit %d)", running, s.MaxJobs)
+		}
+	}
+	if s.MaxInflightCells > 0 {
+		if inflight := s.Store.Stats().Inflight; inflight >= s.MaxInflightCells {
+			s.countShed()
+			return fmt.Sprintf("%d cells already in flight (limit %d)", inflight, s.MaxInflightCells)
+		}
+	}
+	return ""
+}
+
+func (s *Server) countShed() {
+	s.mu.Lock()
+	s.jobsShed++
+	s.mu.Unlock()
+}
+
+// appendJournal records a lifecycle edge, degrading gracefully: a WAL
+// failure costs crash-durability for that edge, never availability.
+func (s *Server) appendJournal(rec Record) {
+	if s.Journal == nil {
+		return
+	}
+	if err := s.Journal.Append(rec); err != nil {
+		s.logf("journal: %v (continuing without durability for this record)", err)
+	}
 }
 
 // runJob executes a job's cells through the store: hits cost a lookup,
@@ -194,11 +298,26 @@ func (s *Server) runJob(ctx context.Context, j *Job, workers int) {
 		started[i] = true
 		j.cellStarted()
 		r, oc := s.Store.GetOrRun(ctx, s.Store.Key(sc), func() runner.Result {
-			// Guard panics here, not just in the runner: a panicking
-			// scenario must still settle the store's flight, or every
-			// job sharing this cell would hang.
+			// The watchdog gets a fresh context, not the job's: a
+			// canceled job must not abort a cell other jobs may be
+			// sharing (in-flight cells finish and cache). Guard panics
+			// here, not just in the runner: a panicking scenario must
+			// still settle the store's flight, or every job sharing
+			// this cell would hang. Likewise a hung cell: the watchdog's
+			// error row settles the flight, releasing every waiter.
 			t0 := time.Now()
-			r := guardedRun(s.Run, sc)
+			r, reaped := runner.RunWatched(context.Background(), sc, s.CellTimeout, func(cctx context.Context) runner.Result {
+				if err := fault.Fire(cctx, "cell-run"); err != nil {
+					return runner.Result{Scenario: sc, Err: err.Error()}
+				}
+				return guardedRun(s.Run, sc)
+			})
+			if reaped {
+				s.mu.Lock()
+				s.watchdogKills++
+				s.mu.Unlock()
+				s.logf("job %s: watchdog reaped cell %s after %v", j.id, sc.Name, s.CellTimeout)
+			}
 			if r.WallSec == 0 {
 				r.WallSec = time.Since(t0).Seconds()
 			}
@@ -219,6 +338,7 @@ func (s *Server) runJob(ctx context.Context, j *Job, workers int) {
 		s.jobsDone++
 	}
 	s.mu.Unlock()
+	s.appendJournal(Record{Type: recDone, ID: j.id, State: state})
 	st := j.Status()
 	s.logf("job %s: %s in %.1fs — %d hit / %d miss / %d shared / %d errors",
 		j.id, state, st.ElapsedSec, st.Cells.Hit, st.Cells.Miss, st.Cells.Shared, st.Cells.Errors)
@@ -246,10 +366,28 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if j == nil {
 		return
 	}
+	// ?from=N resumes the stream after the first N progress lines — the
+	// self-healing client passes the count it has already delivered, so
+	// a reconnect (or a daemon restart mid-job) neither drops nor
+	// duplicates lines.
+	from := 0
+	if q := r.URL.Query().Get("from"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			httpError(w, http.StatusBadRequest, "bad from offset %q", q)
+			return
+		}
+		from = v
+	}
+	if from > 0 {
+		s.mu.Lock()
+		s.eventsResumed++
+		s.mu.Unlock()
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.Header().Set("X-Content-Type-Options", "nosniff")
 	flusher, _ := w.(http.Flusher)
-	j.StreamLog(r.Context(), func(chunk []byte) error {
+	j.StreamLog(r.Context(), from, func(chunk []byte) error {
 		if _, err := w.Write(chunk); err != nil {
 			return err
 		}
@@ -285,8 +423,26 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j.cancel()
+	s.appendJournal(Record{Type: recCancel, ID: j.id})
 	s.logf("job %s: cancel requested", j.id)
 	writeJSON(w, http.StatusOK, j.Status())
+}
+
+// handleHealthz is liveness: the process is up and serving HTTP.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: the job table has been rebuilt from the
+// journal and the daemon is accepting work. Load balancers and the chaos
+// harness gate on this, not on /healthz, so a replaying daemon is not
+// handed traffic early.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		httpError(w, http.StatusServiceUnavailable, "not ready: journal replay in progress")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
@@ -304,6 +460,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		CellsSimulated: s.cellsSimulated,
 		SimEvents:      s.simEvents,
 		SimWallSec:     s.simWallSec,
+
+		WatchdogKills:   s.watchdogKills,
+		JobsShed:        s.jobsShed,
+		JournalReplayed: s.journalReplayed,
+		EventsResumed:   s.eventsResumed,
 	}
 	if !s.started.IsZero() {
 		m.UptimeSec = time.Since(s.started).Seconds()
@@ -311,6 +472,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	if m.SimWallSec > 0 {
 		m.EventsPerSec = float64(m.SimEvents) / m.SimWallSec
+	}
+	m.DiskErrors = m.Cache.DiskErrors
+	if s.Journal != nil {
+		m.DiskErrors += s.Journal.Errors()
 	}
 	writeJSON(w, http.StatusOK, m)
 }
@@ -321,4 +486,97 @@ func (s *Server) Start() {
 	s.mu.Lock()
 	s.started = time.Now()
 	s.mu.Unlock()
+}
+
+// SetReady flips /readyz to 200. The daemon calls it after Replay has
+// rebuilt the job table.
+func (s *Server) SetReady() { s.ready.Store(true) }
+
+// Replay rebuilds the job table from journal records (as returned by
+// OpenJournal) and resumes every journaled job, returning how many. Call
+// it after Start and before serving traffic.
+//
+// Replay semantics:
+//
+//   - A job with no done record (pending or running at the crash)
+//     resumes exactly where the cache left it: completed cells are disk
+//     hits, the rest simulate.
+//   - A completed job re-resolves through the cache — every cacheable
+//     cell comes back byte-identical (cached rows keep their original
+//     wall-clock), so GET /jobs/{id}/results keeps answering across
+//     restarts. Error rows (never cached) re-run.
+//   - A canceled job (cancel record, or done record in the canceled
+//     state) replays with its context already canceled: every cell
+//     reports a canceled error row, preserving the id and terminal state
+//     without re-simulating work the operator threw away.
+func (s *Server) Replay(records []Record) int {
+	type replayJob struct {
+		grid     *runner.Grid
+		workers  int
+		canceled bool
+	}
+	byID := map[string]*replayJob{}
+	var order []string
+	for _, rec := range records {
+		switch rec.Type {
+		case recSubmit:
+			if rec.Grid == nil || byID[rec.ID] != nil {
+				continue
+			}
+			byID[rec.ID] = &replayJob{grid: rec.Grid, workers: rec.Workers}
+			order = append(order, rec.ID)
+		case recCancel:
+			if rj := byID[rec.ID]; rj != nil {
+				rj.canceled = true
+			}
+		case recDone:
+			if rj := byID[rec.ID]; rj != nil && rec.State == JobCanceled {
+				rj.canceled = true
+			}
+		}
+	}
+	maxCells := s.MaxCells
+	if maxCells == 0 {
+		maxCells = 1_000_000
+	}
+	n := 0
+	for _, id := range order {
+		rj := byID[id]
+		scs := safeExpand(rj.grid)
+		if len(scs) == 0 || len(scs) > maxCells {
+			s.logf("journal: skipping job %s (grid expands to %d cells)", id, len(scs))
+			continue
+		}
+		workers := rj.workers
+		if workers == 0 {
+			workers = s.Workers
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		s.mu.Lock()
+		if num, err := strconv.Atoi(id); err == nil && num > s.nextID {
+			s.nextID = num
+		}
+		if s.jobs == nil {
+			s.jobs = map[string]*Job{}
+		}
+		j := newJob(id, scs, cancel)
+		s.jobs[id] = j
+		s.journalReplayed++
+		s.mu.Unlock()
+		if rj.canceled {
+			cancel()
+		}
+		s.logf("journal: replaying job %s (%d cells, canceled=%v)", id, len(scs), rj.canceled)
+		go s.runJob(ctx, j, workers)
+		n++
+	}
+	return n
+}
+
+// safeExpand expands a journaled grid, converting a panic (a record from
+// an incompatible build) into an empty expansion instead of taking the
+// daemon down during replay.
+func safeExpand(g *runner.Grid) (scs []runner.Scenario) {
+	defer func() { _ = recover() }()
+	return g.Expand()
 }

@@ -22,11 +22,14 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sync"
 
+	"nimbus/internal/fault"
 	"nimbus/internal/runner"
 )
 
@@ -74,6 +77,12 @@ type StoreStats struct {
 	// writes, foreign files, key mismatches — each treated as a miss and
 	// rewritten.
 	Corrupt uint64 `json:"corrupt"`
+	// DiskErrors counts IO failures on the disk tier (reads that failed
+	// for reasons other than absence, and writes that could not persist).
+	// Each one degrades the store to pass-through for that operation —
+	// the miss simulates, the result is still served and kept in memory —
+	// instead of failing the cell.
+	DiskErrors uint64 `json:"disk_errors"`
 	// Inflight is the number of simulations currently running.
 	Inflight int `json:"inflight"`
 	// MemEntries is the current size of the memory tier.
@@ -109,6 +118,13 @@ type Store struct {
 	dir         string
 	codeVersion string
 	maxEntries  int
+
+	// Fsync, when set (before serving), makes disk writes crash-durable:
+	// the temp file is synced before the rename and the directory after
+	// it, so a result acknowledged as cached survives power loss, not
+	// just process death. Off by default — the rename alone already
+	// guarantees no reader ever sees a partial entry.
+	Fsync bool
 
 	mu       sync.Mutex
 	lru      *list.List // of *memEntry; front is most recent
@@ -203,6 +219,7 @@ func (s *Store) GetOrRun(ctx context.Context, key string, run func() runner.Resu
 		if err := s.writeDisk(key, r); err != nil {
 			// The result is still good; only persistence failed. Serve
 			// it (and keep it in memory) rather than failing the cell.
+			s.countDiskError()
 			fmt.Fprintf(os.Stderr, "svc: cache write for %s: %v\n", s.Path(key), err)
 		}
 	}
@@ -275,10 +292,20 @@ func (s *Store) insertLocked(key string, r runner.Result) {
 // readDisk loads a key's entry from the disk tier. Any failure —
 // missing, truncated, unparseable, or recorded under a different key —
 // is a miss; corrupt entries are counted and will be overwritten by the
-// next writeDisk.
+// next writeDisk, and IO errors (including injected ones — the
+// "disk-read" failpoint) additionally count as disk_errors. A failing
+// disk therefore degrades the store to pass-through: misses simulate,
+// jobs keep completing.
 func (s *Store) readDisk(key string) (runner.Result, bool) {
+	if err := fault.Fire(context.Background(), "disk-read"); err != nil {
+		s.countDiskError()
+		return runner.Result{}, false
+	}
 	b, err := os.ReadFile(s.Path(key))
 	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			s.countDiskError()
+		}
 		return runner.Result{}, false
 	}
 	var e entry
@@ -292,12 +319,23 @@ func (s *Store) readDisk(key string) (runner.Result, bool) {
 }
 
 // writeDisk persists an entry atomically: marshal, write to a temp file
-// in the cache directory, fsync-free rename onto the content address.
-// Readers see the old bytes or the new bytes, never a prefix.
+// in the cache directory, rename onto the content address. Readers see
+// the old bytes or the new bytes, never a prefix. With Fsync set the
+// temp file is synced before the rename and the directory after it, so
+// the entry also survives power loss. The "disk-write" failpoint fails
+// the write (err mode) or — torn mode — leaves a truncated file at the
+// final path, simulating a crash mid-write by a non-atomic writer; the
+// key-verified read path must then reject it as corrupt.
 func (s *Store) writeDisk(key string, r runner.Result) error {
 	b, err := json.Marshal(entry{Key: key, Result: r})
 	if err != nil {
 		return err
+	}
+	if torn, ferr := fault.FireWrite("disk-write"); ferr != nil {
+		if torn {
+			os.WriteFile(s.Path(key), b[:len(b)/2], 0o644)
+		}
+		return ferr
 	}
 	tmp, err := os.CreateTemp(s.dir, ".put-*")
 	if err != nil {
@@ -308,6 +346,13 @@ func (s *Store) writeDisk(key string, r runner.Result) error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	if s.Fsync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return err
+		}
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return err
@@ -316,7 +361,27 @@ func (s *Store) writeDisk(key string, r runner.Result) error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	if s.Fsync {
+		syncDir(s.dir)
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory so a completed rename is durable, not just
+// ordered. Errors are ignored: some filesystems refuse directory fsync,
+// and the write itself already succeeded.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// countDiskError bumps the disk_errors counter.
+func (s *Store) countDiskError() {
+	s.mu.Lock()
+	s.stats.DiskErrors++
+	s.mu.Unlock()
 }
 
 // Stats snapshots the counters.
