@@ -7,6 +7,8 @@ import (
 	"nimbus/internal/exp"
 	"nimbus/internal/fft"
 	"nimbus/internal/netem"
+	"nimbus/internal/runner"
+	scheme "nimbus/internal/scheme"
 	"nimbus/internal/sim"
 )
 
@@ -185,4 +187,33 @@ func BenchmarkNimbusFlowRFFT(b *testing.B) {
 		r.AddFlow(s, 50*sim.Millisecond, 0)
 		r.Sch.RunUntil(10 * sim.Second)
 	}
+}
+
+// BenchmarkSweepFluidVsPacket runs the fidelity family's headline cell
+// (a Nimbus flow against 84 Mbit/s of CBR cross traffic, 0.875 of the
+// bottleneck) twice per iteration — exact per-packet cross traffic, then
+// the same aggregate as a fluid rate process — and reports the event
+// reduction the fluid path buys. The CI bench smoke gates events_ratio
+// at >= 3x (scripts/check_bench.sh); the fidelity experiment family
+// gates the accuracy side of the same trade.
+func BenchmarkSweepFluidVsPacket(b *testing.B) {
+	base := runner.Scenario{
+		Scheme: scheme.New("nimbus"), RateMbps: 96, RTTms: 50, BufferMs: 100,
+		Cross: "cbr", CrossRateMbps: 84,
+		DurationSec: 10, Seed: 1,
+	}
+	fluid := base
+	fluid.FluidCross = "on"
+	b.ReportAllocs()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		base.Seed, fluid.Seed = int64(i)+1, int64(i)+1
+		rp := exp.RunScenario(base)
+		rf := exp.RunScenario(fluid)
+		if rp.Err != "" || rf.Err != "" {
+			b.Fatalf("packet err=%q fluid err=%q", rp.Err, rf.Err)
+		}
+		ratio = float64(rp.Events) / float64(rf.Events)
+	}
+	b.ReportMetric(ratio, "events_ratio")
 }

@@ -15,7 +15,12 @@
 // inherit one from). -churn simulates a session-arrival workload
 // (internal/workload) on the standard bottleneck and analyzes its
 // aggregate delivered rate — what churning Internet traffic actually
-// looks like to the detector.
+// looks like to the detector. -fluid does the same for a fluid-model
+// aggregate (internal/crosstraffic.Fluid): "elasticity -fluid cubic:24"
+// simulates the rate process alone on the standard bottleneck and
+// analyzes its delivered rate, a direct check that the fluid
+// approximation still shows the detector the signature the per-packet
+// source would (elastic aggregates self-congest into a sawtooth).
 //
 // The uniform listing flags every CLI in this repo shares are available
 // here too: -list-traces (embedded capacity traces for -link-trace),
@@ -30,6 +35,7 @@
 //	elasticity -fp 5 -link-trace cell-ramp -trace-dur 60s
 //	elasticity -fp 5 -topology 'access(100mbps,5ms)->bn(48mbps,pattern=ramp:12:48:8000)'
 //	elasticity -fp 5 -churn "bulk(load=24)" -trace-dur 60s
+//	elasticity -fp 5 -fluid cubic:24 -trace-dur 60s
 //	elasticity -list-traces
 package main
 
@@ -43,6 +49,7 @@ import (
 	"time"
 
 	"nimbus/internal/core"
+	"nimbus/internal/crosstraffic"
 	"nimbus/internal/exp"
 	"nimbus/internal/netem"
 	"nimbus/internal/runner"
@@ -61,6 +68,7 @@ func main() {
 		trace    = flag.String("link-trace", "", "analyze a capacity trace (embedded name or time_ms,mbps file) instead of stdin")
 		topo     = flag.String("topology", "", "analyze a topology spec's bottleneck-link capacity signal instead of stdin (the bottleneck needs an absolute rate)")
 		churn    = flag.String("churn", "", "analyze the aggregate delivered rate of a simulated session workload (a workload spec like bulk(load=24)) instead of stdin")
+		fluid    = flag.String("fluid", "", "analyze the delivered rate of a fluid-model aggregate (kind[:rateMbps], e.g. cubic:24) on the standard bottleneck instead of stdin")
 		traceDur = flag.Duration("trace-dur", 60*time.Second, "how much signal to generate with -link-trace/-topology/-churn")
 
 		listSchemes     = flag.Bool("list-schemes", false, "list registered schemes with their typed params and exit")
@@ -82,7 +90,7 @@ func main() {
 	}
 
 	sources := 0
-	for _, s := range []string{*trace, *topo, *churn} {
+	for _, s := range []string{*trace, *topo, *churn, *fluid} {
 		if s != "" {
 			sources++
 		}
@@ -91,7 +99,7 @@ func main() {
 	var err error
 	switch {
 	case sources > 1:
-		fmt.Fprintln(os.Stderr, "pick one of -link-trace, -topology and -churn")
+		fmt.Fprintln(os.Stderr, "pick one of -link-trace, -topology, -churn and -fluid")
 		os.Exit(2)
 	case *trace != "":
 		samples, err = traceSamples(*trace, cfg.SampleInterval, sim.FromDuration(*traceDur))
@@ -99,6 +107,8 @@ func main() {
 		samples, err = topoSamples(*topo, cfg.SampleInterval, sim.FromDuration(*traceDur))
 	case *churn != "":
 		samples, err = churnSamples(*churn, cfg.SampleInterval, sim.FromDuration(*traceDur))
+	case *fluid != "":
+		samples, err = fluidSamples(*fluid, cfg.SampleInterval, sim.FromDuration(*traceDur))
 	default:
 		samples, err = readSamples(os.Stdin)
 	}
@@ -219,6 +229,53 @@ func churnSamples(churnSpec string, interval, dur sim.Time) ([]float64, error) {
 	sample = func() {
 		out = append(out, bytes*8/interval.Seconds())
 		bytes = 0
+		if r.Sch.Now()+interval <= dur {
+			r.Sch.After(interval, sample)
+		}
+	}
+	r.Sch.After(interval, sample)
+	r.Sch.RunUntil(dur)
+	return out, nil
+}
+
+// fluidSamples simulates a fluid-model aggregate (crosstraffic.Fluid)
+// alone on the standard 96 Mbit/s bottleneck and samples its delivered
+// rate at the detector's interval — the fluid counterpart of -churn,
+// checking the rate-process approximation shows the detector the same
+// elastic/inelastic signature as the packet source it replaces. The
+// spec is kind[:rateMbps]; an elastic kind (cubic, reno) defaults to
+// no target rate and grows until it self-congests.
+func fluidSamples(spec string, interval, dur sim.Time) ([]float64, error) {
+	kind, rateMbps := spec, 0.0
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		kind = spec[:i]
+		v, err := strconv.ParseFloat(spec[i+1:], 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("-fluid: bad rate in %q (want kind[:rateMbps], e.g. cubic:24)", spec)
+		}
+		rateMbps = v
+	}
+	if !crosstraffic.HasFluidModel(kind) {
+		return nil, fmt.Errorf("-fluid: no fluid model for kind %q (want cbr, poisson, cubic, or reno)", kind)
+	}
+	const rtt = 50 * sim.Millisecond
+	r := exp.NewRig(exp.NetConfig{
+		RateMbps: 96, RTT: rtt, Buffer: 100 * sim.Millisecond,
+		Seed: 1, TimerWheel: true, Fluid: "on",
+	})
+	fsp, _ := crosstraffic.ParseFluidSpec("on")
+	src, err := crosstraffic.NewFluid(r.Net, "", kind, rateMbps*1e6, rtt, fsp, r.Rng.Split("fluid-"+kind))
+	if err != nil {
+		return nil, err
+	}
+	src.Start(0)
+	var out []float64
+	var last float64
+	var sample func()
+	sample = func() {
+		delivered, _ := r.Link.FluidStats()
+		out = append(out, (delivered-last)*8/interval.Seconds())
+		last = delivered
 		if r.Sch.Now()+interval <= dur {
 			r.Sch.After(interval, sample)
 		}

@@ -43,6 +43,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"nimbus/internal/crosstraffic"
 	"nimbus/internal/exp"
 	"nimbus/internal/netem"
 	"nimbus/internal/runner"
@@ -69,6 +70,7 @@ func realMain() int {
 		topo            = flag.String("topology", "", "topology(ies) for the -benchmark sweep: preset names or chain specs, comma-separated (default: the single bottleneck)")
 		burst           = flag.Int("burst", 0, "burst link forwarding budget for the -benchmark sweep (0/1 = off; burst cells get their own scenario keys)")
 		churn           = flag.String("churn", "", "churn workload(s) for the -benchmark sweep: workload specs like bulk(load=24), comma-separated (default: no session churn)")
+		fluid           = flag.String("fluid", "", "fluid cross-traffic spec(s) for the -benchmark sweep: off, on, or dt=5ms, comma-separated — run the cross aggregate as a rate process instead of packets (fluid cells get their own scenario keys)")
 		seed            = flag.Int64("seed", 1, "simulation seed")
 		full            = flag.Bool("full", false, "run at the paper's full horizons (slower)")
 		workers         = flag.Int("workers", 0, "worker pool size for experiment grids (0 = all cores, 1 = sequential)")
@@ -117,7 +119,7 @@ func realMain() int {
 	case *gridFile != "":
 		return runGridFile(*gridFile, *remote, *workers, *outFile)
 	case *bench:
-		return runBenchmark(*seed, *workers, *benchOut, *topo, *burst, *churn, *remote)
+		return runBenchmark(*seed, *workers, *benchOut, *topo, *burst, *churn, *fluid, *remote)
 	case *run == "":
 		flag.Usage()
 		return 2
@@ -146,7 +148,7 @@ func realMain() int {
 // default keeps the historical single-bottleneck grid). -churn swaps the
 // cross-traffic axis for session-workload cells, benchmarking the
 // scheduler under dense per-flow timer churn.
-func benchGrid(seed int64, topos, churns []string, burst int) runner.Grid {
+func benchGrid(seed int64, topos, churns []string, burst int, fluids []string) runner.Grid {
 	g := runner.Grid{
 		Base: runner.Scenario{
 			RTTms: 50, BufferMs: 100, DurationSec: 30, Seed: seed,
@@ -156,6 +158,7 @@ func benchGrid(seed int64, topos, churns []string, burst int) runner.Grid {
 		Schemes:    scheme.Specs("nimbus", "cubic", "bbr", "copa"),
 		Topologies: topos,
 		Churns:     churns,
+		Fluids:     fluids,
 		Crosses: []runner.Cross{
 			{Kind: "none"},
 			{Kind: "poisson", RateMbps: 48},
@@ -279,7 +282,7 @@ func writeResults(out string, rs []runner.Result) int {
 	return 0
 }
 
-func runBenchmark(seed int64, workers int, out, topo string, burst int, churn, remote string) int {
+func runBenchmark(seed int64, workers int, out, topo string, burst int, churn, fluid, remote string) int {
 	var topos []string
 	for _, it := range scheme.SplitList(topo) {
 		c, err := netem.CanonicalTopology(it)
@@ -302,7 +305,16 @@ func runBenchmark(seed int64, workers int, out, topo string, burst int, churn, r
 		fmt.Fprintf(os.Stderr, "-burst: budget %d out of range 0..%d\n", burst, netem.MaxBurst)
 		return 2
 	}
-	g := benchGrid(seed, topos, churns, burst)
+	var fluids []string
+	for _, it := range scheme.SplitList(fluid) {
+		fs, err := crosstraffic.ParseFluidSpec(it)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "-fluid:", err)
+			return 2
+		}
+		fluids = append(fluids, fs.String())
+	}
+	g := benchGrid(seed, topos, churns, burst, fluids)
 	if remote != "" {
 		return runRemote(remote, g, workers, out)
 	}

@@ -40,11 +40,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
 
+	"nimbus/internal/crosstraffic"
 	"nimbus/internal/exp"
 	"nimbus/internal/netem"
 	"nimbus/internal/runner"
@@ -54,6 +57,12 @@ import (
 )
 
 func main() {
+	// main wraps realMain so the deferred profile writers run before the
+	// process exits.
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
 		scheme  = flag.String("scheme", "nimbus", "scheme spec(s) under test, comma-separated (see -list-schemes)")
 		flows   = flag.String("flows", "", "heterogeneous flow mix(es) replacing -scheme: SPEC[*COUNT][@STARTs[:STOPs]] joined by \"+\"; comma-separated for sweeps")
@@ -68,12 +77,16 @@ func main() {
 		burst   = flag.Int("burst", 0, "burst link forwarding budget: retire up to N packets per completion event on constant-rate drop-tail links (0/1 = off; changes event timing, not counters)")
 		cross   = flag.String("cross", "none", "cross traffic: none, cubic, reno, poisson, cbr, trace, video4k, video1080p")
 		crossMb = flag.Float64("cross-rate", 48, "cross traffic rate for poisson/cbr/trace, Mbit/s")
+		fluid   = flag.String("fluid", "", "fluid cross-traffic spec(s): off, on, or dt=5ms, comma-separated for sweeps — simulate the cross aggregate as a rate process instead of packets (cbr/poisson/cubic/reno kinds only; approximate, so fluid cells get their own scenario keys)")
 		dur     = flag.Duration("dur", 60*time.Second, "simulated duration")
 		seed    = flag.String("seed", "1", "random seed(s), comma-separated")
 		workers = flag.Int("workers", 0, "sweep worker pool size (0 = all cores, 1 = sequential)")
 		wheel   = flag.Bool("timer-wheel", false, "back every scheduler with the hashed timer wheel instead of the 4-ary heap (identical results; faster under dense timer churn)")
 		out     = flag.String("out", "", "write sweep results to this file (.json or .csv)")
 		quiet   = flag.Bool("quiet", false, "suppress the per-second trace (single-scenario mode)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file when the run completes")
 
 		listSchemes     = flag.Bool("list-schemes", false, "list registered schemes with their typed params and exit")
 		listTraces      = flag.Bool("list-traces", false, "list embedded link capacity traces and exit")
@@ -83,7 +96,34 @@ func main() {
 	flag.Parse()
 	exp.TimerWheel = *wheel
 	if exp.HandleListFlags(*listSchemes, *listTraces, *listTopologies, *listExperiments) {
-		return
+		return 0
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
 	}
 
 	if *burst < 0 || *burst > netem.MaxBurst {
@@ -103,6 +143,7 @@ func main() {
 		BuffersMs:    parseDurationsMs(*buf, "-buf"),
 		AQMs:         splitStrings(*aqm),
 		Crosses:      crossList(*cross, *crossMb),
+		Fluids:       fluidList(*fluid),
 		Seeds:        parseInts(*seed, "-seed"),
 	}
 	if *flows != "" {
@@ -124,9 +165,26 @@ func main() {
 		// where cells must not share random streams.
 		scs[0].RunSeed = 0
 		runSingle(scs[0], *quiet)
-		return
+		return 0
 	}
 	runSweep(scs, *workers, *out)
+	return 0
+}
+
+// fluidList splits and canonicalizes the -fluid value: "off"/"none" map
+// to the empty (exact per-packet) axis value, "on" and "dt=..." to
+// their canonical spec strings, so equivalent spellings land on the
+// same scenario key and derived seed.
+func fluidList(s string) []string {
+	items := splitStrings(s)
+	for i, it := range items {
+		fs, err := crosstraffic.ParseFluidSpec(it)
+		if err != nil {
+			fatalf("-fluid: %v", err)
+		}
+		items[i] = fs.String()
+	}
+	return items
 }
 
 // specList parses a comma-separated scheme spec list, validating each

@@ -20,10 +20,12 @@
 //	nimbus-svc -code-version v-test     # override the build hash (tests, migrations)
 //	nimbus-svc -fsync -cell-timeout 5m -max-jobs 64
 //	nimbus-svc -failpoints 'disk-write=err:0.5,cell-run=hang:1'   # chaos testing
+//	nimbus-svc -pprof                   # profiling endpoints at /debug/pprof/
 //
 // Endpoints: POST /jobs, GET /jobs/{id}, GET /jobs/{id}/events,
 // GET /jobs/{id}/results, DELETE /jobs/{id}, GET /cache/stats,
-// GET /metrics, GET /healthz, GET /readyz.
+// GET /metrics, GET /healthz, GET /readyz (and, with -pprof, the
+// net/http/pprof handlers under /debug/pprof/).
 package main
 
 import (
@@ -34,6 +36,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -63,6 +66,7 @@ func realMain() int {
 		cellTimeout  = flag.Duration("cell-timeout", 0, "per-cell watchdog: reap a cell still simulating after this long (0 = no watchdog)")
 		maxJobs      = flag.Int("max-jobs", 0, "shed new submissions with 429 while this many jobs are running (0 = unbounded)")
 		maxInflight  = flag.Int("max-inflight-cells", 0, "shed new submissions while this many cells are simulating (0 = unbounded)")
+		pprofOn      = flag.Bool("pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/ (off by default; enable only on trusted networks)")
 	)
 	flag.Parse()
 	exp.TimerWheel = *timerWheel
@@ -122,8 +126,23 @@ func realMain() int {
 	}
 	logger.Printf("serving on http://%s (cache %s, code version %s)", ln.Addr(), *cachedir, version)
 
+	handler := server.Handler()
+	if *pprofOn {
+		// Explicit pprof routes on a fresh mux (not DefaultServeMux), so
+		// nothing else registered globally leaks onto the daemon's port.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		logger.Printf("pprof endpoints enabled at /debug/pprof/")
+	}
+
 	hs := &http.Server{
-		Handler: server.Handler(),
+		Handler: handler,
 		// Bounds how long a client may dribble headers, so stalled or
 		// hostile connections cannot pin accept slots forever.
 		ReadHeaderTimeout: 5 * time.Second,

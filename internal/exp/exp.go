@@ -52,6 +52,14 @@ type NetConfig struct {
 	// way; the wheel wins on dense timer churn (thousands of concurrent
 	// flows), so churn scenarios enable it automatically.
 	TimerWheel bool
+	// Fluid, when non-empty, is a canonical crosstraffic.FluidSpec string
+	// ("on", "dt=5ms"): every link gets the fluid load term enabled
+	// (Link.EnableFluid), and AddCross kinds with a fluid model (cbr,
+	// poisson, cubic, reno) attach as rate processes instead of packet
+	// sources. Fluid and burst forwarding are mutually exclusive per
+	// link; enabling fluid wins. Kinds without a model (trace, video*)
+	// stay exact per-packet.
+	Fluid string
 }
 
 // Rig is an instantiated network for one experiment run. Link is the
@@ -64,6 +72,8 @@ type Rig struct {
 	Rng   *sim.Rand
 	MuBps float64
 	Cfg   NetConfig
+	// Fluid is the parsed form of Cfg.Fluid (zero = disabled).
+	Fluid crosstraffic.FluidSpec
 }
 
 // NewRig builds the network from the config's topology spec (the single
@@ -75,6 +85,10 @@ func NewRig(cfg NetConfig) *Rig {
 		cfg.Buffer = 100 * sim.Millisecond
 	}
 	ts, err := netem.ParseTopology(cfg.Topology)
+	if err != nil {
+		panic("exp: " + err.Error())
+	}
+	fluid, err := crosstraffic.ParseFluidSpec(cfg.Fluid)
 	if err != nil {
 		panic("exp: " + err.Error())
 	}
@@ -149,6 +163,14 @@ func NewRig(cfg NetConfig) *Rig {
 		} else if cfg.LinkBurst > 0 {
 			link.SetBurst(cfg.LinkBurst)
 		}
+		if fluid.Enabled || ls.FluidMbps > 0 {
+			// After SetBurst: fluid and burst are mutually exclusive on a
+			// link, and fluid wins (EnableFluid withdraws the burst path).
+			link.EnableFluid(bufBytes)
+			if ls.FluidMbps > 0 {
+				link.AddFluidRate(ls.FluidMbps * 1e6)
+			}
+		}
 		net.AddLink(link)
 		byName[ls.Name] = link
 	}
@@ -171,6 +193,7 @@ func NewRig(cfg NetConfig) *Rig {
 		Rng:   rng,
 		MuBps: muBps,
 		Cfg:   cfg,
+		Fluid: fluid,
 	}
 }
 
@@ -541,6 +564,14 @@ func AddCross(r *Rig, kind string, rateBps float64, rtt sim.Time) error {
 func AddCrossOn(r *Rig, route, kind string, rateBps float64, rtt sim.Time) error {
 	if r.Net.Route(route) == nil {
 		return fmt.Errorf("exp: cross traffic %q: no route %q in topology %s", kind, route, r.Cfg.Topology)
+	}
+	if r.Fluid.Enabled && crosstraffic.HasFluidModel(kind) {
+		f, err := crosstraffic.NewFluid(r.Net, route, kind, rateBps, rtt, r.Fluid, r.Rng.Split("fluid-"+kind))
+		if err != nil {
+			return fmt.Errorf("exp: %w", err)
+		}
+		f.Start(0)
+		return nil
 	}
 	switch kind {
 	case "none", "":

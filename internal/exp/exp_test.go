@@ -17,7 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
 		"fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22",
 		"fig23", "fig24", "fig25", "fig26", "table1", "tableE", "mobile",
-		"coexist", "topo", "churn",
+		"coexist", "topo", "churn", "fidelity",
 	}
 	for _, id := range want {
 		if _, ok := Registry[id]; !ok {

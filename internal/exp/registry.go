@@ -76,6 +76,8 @@ var Registry = map[string]Experiment{
 		func(seed int64, quick bool) string { return FormatChurn(Churn(seed, quick)) }},
 	"coexist": {"coexist", "Heterogeneous flow mixes: coexistence and fairness",
 		func(seed int64, quick bool) string { return FormatCoexist(Coexist(seed, quick)) }},
+	"fidelity": {"fidelity", "Fluid vs per-packet cross traffic: approximation error and event savings",
+		func(seed int64, quick bool) string { return FormatFidelity(Fidelity(seed, quick)) }},
 	"mobile": {"mobile", "Time-varying links: schemes x capacity-trace corpus",
 		func(seed int64, quick bool) string { return FormatMobile(Mobile(seed, quick)) }},
 	"topo": {"topo", "Multi-hop topologies: parking-lot fairness, congested ACK paths",
@@ -167,6 +169,7 @@ var Families = []Family{
 	{"coexist", "heterogeneous flow mixes: coexistence and fairness"},
 	{"topo", "multi-hop topologies: parking-lot fairness, congested ACK paths"},
 	{"churn", "Internet-scale flow churn: session workloads vs long-lived schemes"},
+	{"fidelity", "fluid vs per-packet cross traffic: approximation error and event savings"},
 }
 
 // FamilyOf returns the family an experiment id belongs to ("" if none):

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"nimbus/internal/core"
+	"nimbus/internal/crosstraffic"
 	"nimbus/internal/metrics"
 	"nimbus/internal/netem"
 	"nimbus/internal/runner"
@@ -44,6 +45,7 @@ func NetConfigFor(sc runner.Scenario) NetConfig {
 		Topology:   sc.Topology,
 		LinkBurst:  sc.LinkBurst,
 		TimerWheel: TimerWheel || sc.Churn != "",
+		Fluid:      sc.FluidCross,
 	}
 }
 
@@ -76,9 +78,12 @@ func RigForScenario(sc runner.Scenario) (*Rig, Scheme, *FlowProbe, error) {
 		return nil, Scheme{}, nil, err
 	}
 	cfg.Schedule = sched
-	// Validate the topology up front so a malformed spec is a scenario
-	// error, not a panic out of NewRig.
+	// Validate the topology and fluid specs up front so a malformed spec
+	// is a scenario error, not a panic out of NewRig.
 	if _, err := netem.ParseTopology(sc.Topology); err != nil {
+		return nil, Scheme{}, nil, err
+	}
+	if _, err := crosstraffic.ParseFluidSpec(sc.FluidCross); err != nil {
 		return nil, Scheme{}, nil, err
 	}
 	r := NewRig(cfg)
@@ -176,6 +181,9 @@ func RunFlowMixScenario(sc runner.Scenario) runner.Result {
 	if _, err := netem.ParseTopology(sc.Topology); err != nil {
 		return fail(err)
 	}
+	if _, err := crosstraffic.ParseFluidSpec(sc.FluidCross); err != nil {
+		return fail(err)
+	}
 	r := NewRig(cfg)
 	flows, err := r.AddFlowSpecs(specs...)
 	if err != nil {
@@ -225,6 +233,18 @@ func linkMetrics(r *Rig, meanMbps float64) map[string]float64 {
 		"mean_mbps":       meanMbps,
 		"utilization":     r.Link.Utilization(),
 		"dropped_packets": float64(r.Link.DroppedPackets),
+	}
+	// Fluid-path runs additionally report the background aggregate's
+	// achieved rate and loss; emitted only when fluid is on, so exact
+	// per-packet results (and their JSON) are unchanged.
+	if r.Link.FluidEnabled() {
+		delivered, dropped := r.Link.FluidStats()
+		if now := r.Sch.Now(); now > 0 {
+			m["fluid_mbps"] = delivered * 8 / now.Seconds() / 1e6
+		}
+		if total := delivered + dropped; total > 0 {
+			m["fluid_drop_pct"] = dropped / total * 100
+		}
 	}
 	hopMetrics(m, r)
 	return m

@@ -64,6 +64,18 @@ type Link struct {
 	burstPkts   []*Packet
 	burstTx     []sim.Time
 
+	// Fluid cross-traffic term (EnableFluid, see fluid.go): an aggregate
+	// background load integrated analytically between rate changes
+	// instead of simulated per packet. fluidBacklog is the standing
+	// fluid bytes sharing the buffer with foreground packets.
+	fluidOn        bool
+	fluidCap       int
+	fluidBps       float64
+	fluidBacklog   float64
+	fluidSettled   sim.Time
+	fluidDelivered float64
+	fluidDropped   float64
+
 	DeliveredPackets uint64
 	DeliveredBytes   uint64
 	DroppedPackets   uint64
@@ -113,6 +125,13 @@ func (l *Link) TxTime(n int) sim.Time {
 // Send enqueues p, starting transmission if the link is idle.
 func (l *Link) Send(p *Packet) {
 	now := l.Sch.Now()
+	if l.fluidOn {
+		// Settle so the queue's admission check sees the current fluid
+		// backlog, not a stale one, then stamp the packet's FIFO
+		// position relative to the fluid process (flushFluidAhead).
+		l.settleFluid(now)
+		p.fluidMark = l.fluidDelivered + l.fluidBacklog
+	}
 	if !l.Q.Enqueue(p, now) {
 		l.DroppedPackets++
 		if l.OnDrop != nil {
@@ -127,6 +146,11 @@ func (l *Link) Send(p *Packet) {
 
 func (l *Link) startNext() {
 	now := l.Sch.Now()
+	if l.fluidOn {
+		// Settle before the dequeue: the interval just ended still had
+		// the head packet in the buffer, so backlog capping sees it.
+		l.settleFluid(now)
+	}
 	p := l.Q.Dequeue(now)
 	if p == nil {
 		l.busy = false
@@ -142,6 +166,10 @@ func (l *Link) startNext() {
 			l.startBurst(now, p, tx)
 			return
 		}
+		if l.fluidOn {
+			ftx, _ := l.flushFluidAhead(p)
+			tx += ftx
+		}
 		l.txPkt = p
 		l.txTime = tx
 		l.Sch.AfterFunc(tx, l.txDone)
@@ -149,6 +177,13 @@ func (l *Link) startNext() {
 	}
 	l.txPkt = p
 	l.txBitsLeft = float64(p.Size) * 8
+	if l.fluidOn {
+		// Fold the standing backlog into the in-flight bits: the exact
+		// piecewise-rate integration then drains fluid and packet
+		// together across any schedule transitions.
+		_, fbits := l.flushFluidAhead(p)
+		l.txBitsLeft += fbits
+	}
 	l.txUpdated = now
 	l.armTx()
 }
@@ -182,7 +217,7 @@ func (l *Link) SetBurst(budget int) {
 	}
 	l.burstBudget = budget
 	l.bq = nil
-	if budget <= 1 || l.varying {
+	if budget <= 1 || l.varying || l.fluidOn {
 		return
 	}
 	bq, ok := l.Q.(BurstQueue)
@@ -262,6 +297,11 @@ func (l *Link) armTx() {
 // next transition.
 func (l *Link) applyRateChange() {
 	now := l.Sch.Now()
+	if l.fluidOn {
+		// Close the constant-rate segment before switching, so each
+		// fluid integration interval has a single drain rate.
+		l.settleFluid(now)
+	}
 	newRate := l.Schedule.RateAt(now)
 	if newRate != l.rateBps {
 		if l.txPkt != nil {
@@ -328,6 +368,10 @@ func (l *Link) Utilization() float64 {
 	now := l.Sch.Now()
 	if now == 0 {
 		return 0
+	}
+	if l.fluidOn {
+		// Bring idle-time fluid drain up to date before reading.
+		l.settleFluid(now)
 	}
 	return l.busyTime.Seconds() / now.Seconds()
 }

@@ -32,6 +32,13 @@ type Packet struct {
 	// generate no ACKs.
 	Raw bool
 
+	// fluidMark is the link-local FIFO position of the packet relative
+	// to the fluid cross-traffic process: the link's cumulative
+	// delivered-plus-standing fluid bytes when the packet enqueued
+	// (see Link.flushFluidAhead). Stamped per hop by Send on fluid
+	// links; meaningless (and unread) elsewhere.
+	fluidMark float64
+
 	// Routing state, owned by the topology: the route the packet follows,
 	// its position on it, and the direction (data vs. ACK). ACK packets
 	// carry their sender-side delivery callback so the reverse traversal

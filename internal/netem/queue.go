@@ -33,6 +33,20 @@ type BurstQueue interface {
 	DequeueAt(at sim.Time) *Packet
 }
 
+// FluidAware is implemented by disciplines that can count an external
+// byte occupancy — a link's fluid cross-traffic backlog (Link.EnableFluid)
+// — in their admission decision, so foreground packets see the same drop
+// pressure the equivalent packetized background load would create.
+// Disciplines whose drop law reads per-packet state the fluid term cannot
+// feed (CoDel sojourn times, PIE's per-enqueue drop probability)
+// deliberately do not implement it; on those queues fluid load consumes
+// buffer room and link time but is invisible to the AQM law — one of the
+// approximation's documented fidelity boundaries.
+type FluidAware interface {
+	Queue
+	SetExtraOccupancy(extra func() int)
+}
+
 // fifo is the common FIFO storage used by all queue disciplines: a ring
 // buffer with power-of-two capacity, so steady-state enqueue/dequeue does
 // no copying and no allocation once the ring has grown to the working set.
@@ -96,6 +110,9 @@ type DropTail struct {
 	pending      []pendingTx
 	pendHead     int
 	pendingBytes int
+	// extra, when set, reports external bytes (a link's fluid backlog)
+	// that count toward admission occupancy (FluidAware).
+	extra func() int
 }
 
 // pendingTx is one burst-committed dequeue: bytes reserved until at.
@@ -130,7 +147,11 @@ func (d *DropTail) Enqueue(p *Packet, now sim.Time) bool {
 	if d.pendingBytes > 0 {
 		d.expirePending(now)
 	}
-	if d.q.queued()+d.pendingBytes+p.Size > d.Capacity {
+	occ := d.q.queued() + d.pendingBytes
+	if d.extra != nil {
+		occ += d.extra()
+	}
+	if occ+p.Size > d.Capacity {
 		d.Drops++
 		return false
 	}
@@ -168,8 +189,14 @@ func (d *DropTail) DequeueAt(at sim.Time) *Packet {
 }
 
 // BytesQueued returns the queue occupancy in bytes, including
-// burst-committed packets whose transmission has not yet started.
+// burst-committed packets whose transmission has not yet started. The
+// external fluid occupancy is not included: the link tracks its backlog
+// separately (Link.FluidBacklog).
 func (d *DropTail) BytesQueued() int { return d.q.queued() + d.pendingBytes }
+
+// SetExtraOccupancy registers an external occupancy source counted by
+// Enqueue's admission check (FluidAware).
+func (d *DropTail) SetExtraOccupancy(extra func() int) { d.extra = extra }
 
 // BytesForFlow returns the bytes currently queued that belong to one
 // flow. O(queue length); used by experiments that decompose queueing

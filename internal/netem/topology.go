@@ -354,7 +354,13 @@ func (t *Topology) QueueDelayNow() sim.Time {
 	if rate <= 0 {
 		return 0
 	}
-	return sim.FromSeconds(float64(t.Link.Q.BytesQueued()) * 8 / rate)
+	bytes := float64(t.Link.Q.BytesQueued())
+	if t.Link.FluidEnabled() {
+		// The fluid backlog stands in front of arriving packets exactly
+		// like queued bytes do.
+		bytes += t.Link.FluidBacklog()
+	}
+	return sim.FromSeconds(bytes * 8 / rate)
 }
 
 // String describes the network configuration.

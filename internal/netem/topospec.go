@@ -40,6 +40,12 @@ type LinkSpec struct {
 	// constant-rate drop-tail links. 0 defers to the scenario's
 	// link-burst setting.
 	Burst int
+	// FluidMbps, when > 0, loads this link with a constant fluid
+	// background aggregate of that rate (Link.EnableFluid +
+	// AddFluidRate): the load shapes queue occupancy, drops, and
+	// utilization analytically without per-packet events. It composes
+	// with a scenario-level fluid cross-traffic source on the same link.
+	FluidMbps float64
 }
 
 // ResolveRate returns the link's capacity in bits/s given the scenario's
@@ -161,6 +167,9 @@ func (ls LinkSpec) format() string {
 	if ls.Burst > 0 {
 		params = append(params, "burst="+strconv.Itoa(ls.Burst))
 	}
+	if ls.FluidMbps > 0 {
+		params = append(params, "fluid="+formatNum(ls.FluidMbps)+"mbps")
+	}
 	if len(params) == 0 {
 		return ls.Name
 	}
@@ -261,8 +270,10 @@ func init() {
 // route crosses every link in order. Link parameters, comma-separated in
 // any order: an absolute rate ("100mbps"), a nominal-rate multiple
 // ("x4"), a wire delay ("5ms"), an AQM name (droptail, pie, codel), a
-// buffer depth ("buf=50ms"), and a capacity pattern
-// ("pattern=step:6:24:2000"). A chain's bottleneck is its link with no
+// buffer depth ("buf=50ms"), a capacity pattern
+// ("pattern=step:6:24:2000"), a burst budget ("burst=32"), and a
+// constant fluid background load ("fluid=24mbps"). A chain's
+// bottleneck is its link with no
 // explicit rate, or the lowest-rate link when all rates are explicit.
 func ParseTopology(s string) (TopoSpec, error) {
 	s = strings.TrimSpace(s)
@@ -374,6 +385,14 @@ func parseLinkSpec(seg string) (LinkSpec, error) {
 			continue
 		}
 		switch {
+		// fluid= before the bare-rate case: its value also ends in "mbps".
+		case strings.HasPrefix(tok, "fluid="):
+			v := strings.TrimSuffix(strings.TrimPrefix(tok, "fluid="), "mbps")
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f <= 0 {
+				return LinkSpec{}, fmt.Errorf("link %q: bad fluid load %q (want fluid=24mbps)", name, tok)
+			}
+			ls.FluidMbps = f
 		case strings.HasSuffix(tok, "mbps"):
 			v, err := strconv.ParseFloat(strings.TrimSuffix(tok, "mbps"), 64)
 			if err != nil || v <= 0 {
@@ -416,7 +435,7 @@ func parseLinkSpec(seg string) (LinkSpec, error) {
 			}
 			ls.Burst = v
 		default:
-			return LinkSpec{}, fmt.Errorf("link %q: unknown parameter %q (want rate like 100mbps or x4, delay like 5ms, an AQM, buf=, pattern=, or burst=)", name, tok)
+			return LinkSpec{}, fmt.Errorf("link %q: unknown parameter %q (want rate like 100mbps or x4, delay like 5ms, an AQM, buf=, pattern=, burst=, or fluid=)", name, tok)
 		}
 	}
 	if ls.RateMbps > 0 && ls.RateScale > 0 {

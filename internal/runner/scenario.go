@@ -102,6 +102,17 @@ type Scenario struct {
 	CrossRateMbps float64 `json:"cross_rate_mbps,omitempty"`
 	CrossRTTms    float64 `json:"cross_rtt_ms,omitempty"`
 
+	// FluidCross, when non-empty, runs the scenario's cross traffic as a
+	// fluid rate process instead of per-packet events
+	// (crosstraffic.Fluid): "on" for the default resample interval, or
+	// "dt=5ms". Only cross kinds with a fluid model (cbr, poisson,
+	// cubic, reno) are affected; the foreground scheme stays exact
+	// per-packet. Fluid runs approximate the packet path, so they get
+	// their own key — results are not byte-comparable to packet runs.
+	// Store the canonical form (crosstraffic.ParseFluidSpec(...).String(),
+	// as the CLIs do): the string enters Key() verbatim.
+	FluidCross string `json:"fluid_cross,omitempty"`
+
 	// LinkBurst, when > 1, enables burst link forwarding with that
 	// per-event packet budget on every topology link without its own
 	// burst= parameter (exp.NetConfig.LinkBurst). Bursting changes when
@@ -153,6 +164,9 @@ func (s Scenario) Key() string {
 	}
 	if s.Churn != "" {
 		key += "/churn=" + s.Churn
+	}
+	if s.FluidCross != "" {
+		key += "/fluid=" + s.FluidCross
 	}
 	return key
 }
@@ -210,6 +224,12 @@ func (s Scenario) label(varying []string) string {
 			parts = append(parts, "churn="+s.Churn)
 		case "cross":
 			parts = append(parts, fmt.Sprintf("cross=%s:%g", s.Cross, s.CrossRateMbps))
+		case "fluid":
+			fluid := s.FluidCross
+			if fluid == "" {
+				fluid = "off"
+			}
+			parts = append(parts, "fluid="+fluid)
 		case "seed":
 			parts = append(parts, fmt.Sprintf("seed=%d", s.Seed))
 		}
@@ -245,12 +265,15 @@ type Grid struct {
 	FlowMixes    []string      `json:"flow_mixes,omitempty"`
 	Churns       []string      `json:"churns,omitempty"`
 	Crosses      []Cross       `json:"crosses,omitempty"`
-	Seeds        []int64       `json:"seeds,omitempty"`
+	// Fluids sweeps the fluid cross-traffic axis; "" means the exact
+	// per-packet path (the base default).
+	Fluids []string `json:"fluids,omitempty"`
+	Seeds  []int64  `json:"seeds,omitempty"`
 }
 
 // Expand returns the scenarios of the grid in a stable order (outermost
-// axis first: scheme, flow mix, cross, rate, trace, pattern, topology,
-// rtt, buffer, aqm, seed). Every scenario gets a per-run seed derived from its own
+// axis first: scheme, flow mix, churn, cross, fluid, rate, trace,
+// pattern, topology, rtt, buffer, aqm, seed). Every scenario gets a per-run seed derived from its own
 // parameters via sim.DeriveSeed, so results do not depend on expansion
 // order or worker count, and a Name naming the varying axes.
 func (g Grid) Expand() []Scenario {
@@ -306,6 +329,10 @@ func (g Grid) Expand() []Scenario {
 	if len(crosses) == 0 {
 		crosses = []Cross{{Kind: g.Base.Cross, RateMbps: g.Base.CrossRateMbps}}
 	}
+	fluids := g.Fluids
+	if len(fluids) == 0 {
+		fluids = []string{g.Base.FluidCross}
+	}
 	seeds := g.Seeds
 	if len(seeds) == 0 {
 		seeds = []int64{g.Base.Seed}
@@ -316,7 +343,7 @@ func (g Grid) Expand() []Scenario {
 		name string
 		n    int
 	}{
-		{"scheme", len(schemes)}, {"flows", len(mixes)}, {"churn", len(churns)}, {"cross", len(crosses)}, {"rate", len(rates)},
+		{"scheme", len(schemes)}, {"flows", len(mixes)}, {"churn", len(churns)}, {"cross", len(crosses)}, {"fluid", len(fluids)}, {"rate", len(rates)},
 		{"trace", len(traces)}, {"pattern", len(patterns)}, {"topo", len(topos)},
 		{"rtt", len(rtts)}, {"buf", len(bufs)}, {"aqm", len(aqms)}, {"seed", len(seeds)},
 	} {
@@ -325,38 +352,41 @@ func (g Grid) Expand() []Scenario {
 		}
 	}
 
-	out := make([]Scenario, 0, len(schemes)*len(mixes)*len(churns)*len(crosses)*len(rates)*len(traces)*len(patterns)*len(topos)*len(rtts)*len(bufs)*len(aqms)*len(seeds))
+	out := make([]Scenario, 0, len(schemes)*len(mixes)*len(churns)*len(crosses)*len(fluids)*len(rates)*len(traces)*len(patterns)*len(topos)*len(rtts)*len(bufs)*len(aqms)*len(seeds))
 	for _, sp := range schemes {
 		for _, mix := range mixes {
 			for _, churn := range churns {
 				for _, cross := range crosses {
-					for _, rate := range rates {
-						for _, trace := range traces {
-							for _, pattern := range patterns {
-								for _, topo := range topos {
-									for _, rtt := range rtts {
-										for _, buf := range bufs {
-											for _, aqm := range aqms {
-												for _, seed := range seeds {
-													sc := g.Base
-													sc.Scheme = sp
-													sc.FlowMix = mix
-													sc.Churn = churn
-													sc.Cross = cross.Kind
-													sc.CrossRateMbps = cross.RateMbps
-													sc.RateMbps = rate
-													sc.LinkTrace = trace
-													sc.RatePattern = pattern
-													sc.Topology = topo
-													sc.RTTms = rtt
-													sc.BufferMs = buf
-													sc.AQM = aqm
-													sc.Seed = seed
-													sc.RunSeed = sim.DeriveSeed(seed, sc.Key())
-													if sc.Name == "" || sc.Name == g.Base.Name {
-														sc.Name = sc.label(varying)
+					for _, fluid := range fluids {
+						for _, rate := range rates {
+							for _, trace := range traces {
+								for _, pattern := range patterns {
+									for _, topo := range topos {
+										for _, rtt := range rtts {
+											for _, buf := range bufs {
+												for _, aqm := range aqms {
+													for _, seed := range seeds {
+														sc := g.Base
+														sc.Scheme = sp
+														sc.FlowMix = mix
+														sc.Churn = churn
+														sc.Cross = cross.Kind
+														sc.CrossRateMbps = cross.RateMbps
+														sc.FluidCross = fluid
+														sc.RateMbps = rate
+														sc.LinkTrace = trace
+														sc.RatePattern = pattern
+														sc.Topology = topo
+														sc.RTTms = rtt
+														sc.BufferMs = buf
+														sc.AQM = aqm
+														sc.Seed = seed
+														sc.RunSeed = sim.DeriveSeed(seed, sc.Key())
+														if sc.Name == "" || sc.Name == g.Base.Name {
+															sc.Name = sc.label(varying)
+														}
+														out = append(out, sc)
 													}
-													out = append(out, sc)
 												}
 											}
 										}

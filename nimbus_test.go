@@ -27,8 +27,8 @@ func TestFacadeEstimateZ(t *testing.T) {
 
 func TestFacadeExperimentRegistry(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 31 {
-		t.Fatalf("got %d experiments, want 31 (25 figures, table1, tableE, mobile, coexist, topo, churn)", len(ids))
+	if len(ids) != 32 {
+		t.Fatalf("got %d experiments, want 32 (25 figures, table1, tableE, mobile, coexist, topo, churn, fidelity)", len(ids))
 	}
 	out, err := RunExperiment("fig07", 1, true)
 	if err != nil {

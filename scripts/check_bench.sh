@@ -30,6 +30,8 @@ BenchmarkRealPlanAnalyze realplan_allocs_per_op realplan_ns_per_op
 BenchmarkLinkBurst linkburst_allocs_per_op linkburst_ns_per_op
 BenchmarkSchedulerChurn/heap-10k schedchurn_heap_allocs_per_op schedchurn_heap_ns_per_op
 BenchmarkSchedulerChurn/wheel-10k schedchurn_wheel_allocs_per_op schedchurn_wheel_ns_per_op
+BenchmarkFluidLink fluidlink_allocs_per_op fluidlink_ns_per_op
+BenchmarkSweepFluidVsPacket sweepfluid_allocs_per_op -
 "
 
 [ -n "$compare_out" ] && printf '%-36s %-12s %10s %10s %10s %s\n' \
@@ -116,6 +118,21 @@ if [ -n "$heap_ns" ] && [ -n "$wheel_ns" ]; then
         fail=1
     else
         echo "BenchmarkSchedulerChurn wheel speedup: $(awk -v h="$heap_ns" -v w="$wheel_ns" 'BEGIN { printf "%.2f", h / w }')x over heap [OK]"
+    fi
+fi
+
+# Relative gate: the fluid cross-traffic path must execute at least 3x
+# fewer scheduler events than the per-packet path on the cross-heavy
+# sweep cell. The ratio is a simulator invariant (event counts are
+# deterministic per seed), so the gate is tight where the wall-clock
+# bands cannot be — it is the fluid path's reason to exist.
+fluid_ratio=$(extract "BenchmarkSweepFluidVsPacket" events_ratio)
+if [ -n "$fluid_ratio" ]; then
+    if awk -v r="$fluid_ratio" 'BEGIN { exit !(r < 3) }'; then
+        echo "check_bench: FAIL — fluid cross traffic only ${fluid_ratio}x fewer events than per-packet (need >= 3x)" >&2
+        fail=1
+    else
+        echo "BenchmarkSweepFluidVsPacket event reduction: ${fluid_ratio}x over per-packet [OK]"
     fi
 fi
 
